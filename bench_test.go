@@ -1,0 +1,174 @@
+package sbgp
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index): each
+// Benchmark<Id> wraps the corresponding runner from
+// internal/experiments at a laptop-scale graph size. Micro-benchmarks
+// for the routing and simulation hot paths come first.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one figure with full output instead:
+//
+//	go run ./cmd/experiments -run fig8 -n 2000
+
+import (
+	"testing"
+
+	"sbgp/internal/experiments"
+	"sbgp/internal/routing"
+)
+
+const benchN = 400 // graph size for the table/figure macro-benchmarks
+
+func benchGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	g := MustGenerateTopology(DefaultTopology(n, 42))
+	g.SetCPTrafficFraction(0.10)
+	return g
+}
+
+// --- micro-benchmarks: the algorithmic core ---
+
+// BenchmarkComputeStatic measures the three-stage BFS (Observation C.1
+// static info) for one destination.
+func BenchmarkComputeStatic(b *testing.B) {
+	g := benchGraph(b, 2000)
+	w := routing.NewWorkspace(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ComputeStatic(int32(i % g.N()))
+	}
+}
+
+// BenchmarkResolve measures one pass of the fast routing tree algorithm
+// (Appendix C.2) against precomputed static info.
+func BenchmarkResolve(b *testing.B) {
+	g := benchGraph(b, 2000)
+	w := routing.NewWorkspace(g)
+	tb := HashTiebreaker{}
+	s := w.PrepareDest(0, tb)
+	secure := make([]bool, g.N())
+	breaks := make([]bool, g.N())
+	for i := range secure {
+		secure[i] = i%2 == 0
+		breaks[i] = true
+	}
+	var tree routing.Tree
+	tree.Clear(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ResolveInto(&tree, s, secure, breaks, nil, tb)
+	}
+}
+
+// BenchmarkSimRound measures one full deployment round (utilities plus
+// projections for every candidate ISP) on a 1000-AS graph.
+func BenchmarkSimRound(b *testing.B) {
+	g := benchGraph(b, 1000)
+	cfg := Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  CPsPlusTopISPs(g, 5),
+		StubsBreakTies: true,
+		MaxRounds:      1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullDeployment measures a complete case-study run to a
+// stable state.
+func BenchmarkFullDeployment(b *testing.B) {
+	g := benchGraph(b, benchN)
+	cfg := Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  CPsPlusTopISPs(g, 5),
+		StubsBreakTies: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncomingDeployment is the incoming-utility counterpart
+// (candidates include secure ISPs, so rounds are costlier).
+func BenchmarkIncomingDeployment(b *testing.B) {
+	g := benchGraph(b, benchN)
+	cfg := Config{
+		Model:          Incoming,
+		Theta:          0.05,
+		EarlyAdopters:  CPsPlusTopISPs(g, 5),
+		StubsBreakTies: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProjectStubUpgrades measures the ablation where deployment
+// actions bundle simplex stub upgrades into the projection.
+func BenchmarkProjectStubUpgrades(b *testing.B) {
+	g := benchGraph(b, benchN)
+	cfg := Config{
+		Model:               Outgoing,
+		Theta:               0.05,
+		EarlyAdopters:       CPsPlusTopISPs(g, 5),
+		StubsBreakTies:      true,
+		ProjectStubUpgrades: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- macro-benchmarks: one per paper table and figure ---
+
+func benchExperiment(b *testing.B, id string, n int) {
+	b.Helper()
+	opt := experiments.Options{N: n, Seed: 42, X: 0.10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Diamonds(b *testing.B)          { benchExperiment(b, "table1", benchN) }
+func BenchmarkTable2GraphStats(b *testing.B)        { benchExperiment(b, "table2", benchN) }
+func BenchmarkTable3CPPathLen(b *testing.B)         { benchExperiment(b, "table3", benchN) }
+func BenchmarkTable4Degrees(b *testing.B)           { benchExperiment(b, "table4", benchN) }
+func BenchmarkFig2Diamond(b *testing.B)             { benchExperiment(b, "fig2", benchN) }
+func BenchmarkFig3AdoptionPerRound(b *testing.B)    { benchExperiment(b, "fig3", benchN) }
+func BenchmarkFig4UtilityTrajectories(b *testing.B) { benchExperiment(b, "fig4", benchN) }
+func BenchmarkFig5ProjectedVsStarting(b *testing.B) { benchExperiment(b, "fig5", benchN) }
+func BenchmarkFig6AdoptionByDegree(b *testing.B)    { benchExperiment(b, "fig6", benchN) }
+func BenchmarkFig7SecurePathGrowth(b *testing.B)    { benchExperiment(b, "fig7", benchN) }
+func BenchmarkFig8ThetaSweep(b *testing.B)          { benchExperiment(b, "fig8", benchN) }
+func BenchmarkFig9SecurePaths(b *testing.B)         { benchExperiment(b, "fig9", benchN) }
+func BenchmarkFig10Tiebreak(b *testing.B)           { benchExperiment(b, "fig10", benchN) }
+func BenchmarkFig11StubTiebreak(b *testing.B)       { benchExperiment(b, "fig11", benchN) }
+func BenchmarkFig12CPvsTier1(b *testing.B)          { benchExperiment(b, "fig12", benchN) }
+func BenchmarkFig13TurnOff(b *testing.B)            { benchExperiment(b, "fig13", benchN) }
+func BenchmarkFig14ProjectionAccuracy(b *testing.B) { benchExperiment(b, "fig14", benchN) }
+func BenchmarkFig15PartialAttack(b *testing.B)      { benchExperiment(b, "fig15", benchN) }
+func BenchmarkFig16SetCover(b *testing.B)           { benchExperiment(b, "fig16", benchN) }
+func BenchmarkFig17Oscillator(b *testing.B)         { benchExperiment(b, "fig17", benchN) }
+func BenchmarkSec73TurnOffScan(b *testing.B)        { benchExperiment(b, "sec73", benchN) }

@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures over
+// the synthetic substrate.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3 [-n 2000] [-seed 42] [-x 0.1] [-out results/]
+//	experiments -run all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sbgp/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "experiment id to run, or 'all'")
+		n       = flag.Int("n", 1200, "synthetic graph size")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		x       = flag.Float64("x", 0.10, "CP traffic fraction")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		outDir  = flag.String("out", "", "directory for per-experiment result files (default stdout only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all required (see -list)")
+		os.Exit(2)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		opt := experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers}
+		var sink io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			var err error
+			file, err = os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			sink = io.MultiWriter(os.Stdout, file)
+		}
+		opt.Out = sink
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", id, experiments.Describe(id))
+		if err := experiments.Run(id, opt); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", id, time.Since(start).Round(time.Millisecond))
+		if file != nil {
+			file.Close()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command topogen generates a synthetic Internet-like AS topology and
+// writes it in the native text format, optionally with the paper's
+// Section 6.8 augmentation (extra CP peering).
+//
+//	topogen -n 2000 -seed 42 -o graph.txt
+//	topogen -n 2000 -augment 0.5 -o augmented.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sbgp"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 2000, "number of ASes")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		augment = flag.Float64("augment", 0, "per-CP peering fraction (0 = no augmentation)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print stats to stderr")
+	)
+	flag.Parse()
+
+	g, err := sbgp.GenerateTopology(sbgp.DefaultTopology(*n, *seed))
+	if err != nil {
+		fatal(err)
+	}
+	if *augment > 0 {
+		g, err = sbgp.AugmentTopology(g, *seed, *augment)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, sbgp.ComputeStats(g).String())
+	}
+	if *out == "" {
+		if err := sbgp.WriteGraph(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := sbgp.WriteGraphFile(*out, g); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

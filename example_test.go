@@ -1,0 +1,78 @@
+package sbgp_test
+
+import (
+	"fmt"
+
+	"sbgp"
+)
+
+// ExampleRun walks the library's core loop on a hand-built diamond: a
+// heavy traffic source T with two competing ISPs A and B over a
+// multihomed stub. Seeding T and B makes A deploy to steal the traffic
+// back — the paper's Figure 2 mechanism in four ASes.
+func ExampleRun() {
+	g := sbgp.NewBuilder().
+		AddCustomer(1, 2).AddCustomer(1, 3). // T provides A and B
+		AddCustomer(2, 4).AddCustomer(3, 4). // the stub buys from both
+		SetWeight(1, 10).                    // T originates the traffic
+		MustBuild()
+
+	res, err := sbgp.Run(g, sbgp.Config{
+		Model:          sbgp.Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  []int32{g.Index(1), g.Index(3)}, // T and B
+		StubsBreakTies: true,
+		Tiebreaker:     sbgp.LowestIndex{},
+		Workers:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("round 1 deployments: %d\n", len(res.Rounds[0].Deployed))
+	fmt.Printf("AS 2 secure: %v\n", res.FinalSecure[g.Index(2)])
+	fmt.Printf("secure ASes: %d of %d\n", res.Final.SecureASes, g.N())
+	// Output:
+	// round 1 deployments: 1
+	// AS 2 secure: true
+	// secure ASes: 4 of 4
+}
+
+// ExampleEvaluateFlip reproduces the paper's Figure 13 "buyer's
+// remorse" check: under the incoming utility model, an ISP can profit
+// from disabling S*BGP.
+func ExampleEvaluateFlip() {
+	// CP(10, weight 100) buys from C(15) and P(30); P provides N(20);
+	// N provides C and two stubs.
+	g := sbgp.NewBuilder().
+		AddCustomer(30, 20).AddCustomer(20, 15).
+		AddCustomer(15, 10).AddCustomer(30, 10).
+		AddCustomer(20, 40).AddCustomer(20, 41).
+		MarkCP(10).SetWeight(10, 100).
+		MustBuild()
+
+	secure := make([]bool, g.N())
+	for _, asn := range []int32{10, 30, 20, 40, 41} {
+		secure[g.Index(asn)] = true
+	}
+	cfg := sbgp.Config{Model: sbgp.Incoming, Tiebreaker: sbgp.LowestIndex{}, Workers: 1}
+	base, proj, err := sbgp.EvaluateFlip(g, secure, cfg, g.Index(20))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("N gains by disabling: %v\n", proj > base)
+	// Output:
+	// N gains by disabling: true
+}
+
+// ExampleComputeTiebreakDist measures the "source of competition": how
+// many equally-good routes ASes have to choose between (the paper's
+// Figure 10 quantity) on a small synthetic topology.
+func ExampleComputeTiebreakDist() {
+	g := sbgp.MustGenerateTopology(sbgp.DefaultTopology(300, 7))
+	d := sbgp.ComputeTiebreakDist(g)
+	fmt.Printf("most pairs single-path: %v\n", d.FracMultiAll < 0.5)
+	fmt.Printf("ISPs see more choice than stubs: %v\n", d.MeanISPs > d.MeanStubs)
+	// Output:
+	// most pairs single-path: true
+	// ISPs see more choice than stubs: true
+}

@@ -1,0 +1,60 @@
+// Earlyadopters compares early-adopter strategies across deployment
+// thresholds — a miniature of the paper's Figure 8. It shows the two
+// regimes the paper identifies: at low θ almost any seeding triggers
+// near-universal deployment; at high θ only high-degree adopters matter
+// and most secure ASes are simplex stubs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sbgp"
+)
+
+func main() {
+	g, err := sbgp.GenerateTopology(sbgp.DefaultTopology(800, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.SetCPTrafficFraction(0.10)
+
+	nISPs := len(g.Nodes(sbgp.ISP))
+	big := nISPs / 10
+	sets := []struct {
+		name  string
+		nodes []int32
+	}{
+		{"none", nil},
+		{"5 CPs", sbgp.ContentProviders(g)},
+		{"top-5 ISPs", sbgp.TopISPs(g, 5)},
+		{"CPs + top-5", sbgp.CPsPlusTopISPs(g, 5)},
+		{fmt.Sprintf("top-%d ISPs", big), sbgp.TopISPs(g, big)},
+		{fmt.Sprintf("%d random ISPs", big), sbgp.RandomISPs(g, big, 1)},
+	}
+
+	fmt.Printf("%-16s", "adopters \\ θ")
+	thetas := []float64{0, 0.05, 0.10, 0.30, 0.50}
+	for _, th := range thetas {
+		fmt.Printf("  %6.0f%%", th*100)
+	}
+	fmt.Println()
+
+	for _, set := range sets {
+		fmt.Printf("%-16s", set.name)
+		for _, th := range thetas {
+			res, err := sbgp.Run(g, sbgp.Config{
+				Model:          sbgp.Outgoing,
+				Theta:          th,
+				EarlyAdopters:  set.nodes,
+				StubsBreakTies: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.1f%%", 100*res.SecureFractionASes())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(cells: final fraction of ASes secure)")
+}

@@ -1,0 +1,116 @@
+// Oscillation demonstrates Section 7 of the paper: under the incoming
+// utility model an ISP can profit from *disabling* S*BGP (buyer's
+// remorse, Figure 13), and deployment dynamics can cycle forever
+// (Appendix F / Theorem 7.1). Both phenomena run on the exact gadget
+// graphs from internal/gadgets; the outgoing model provably has neither
+// (Theorem 6.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sbgp"
+)
+
+func main() {
+	buyersRemorse()
+	fmt.Println()
+	oscillator()
+}
+
+// buyersRemorse rebuilds the paper's AS 4755 scenario: a content
+// provider's secure route enters ISP N from its provider and earns
+// nothing; disabling S*BGP shifts it onto a customer edge.
+func buyersRemorse() {
+	// CP(10) is a customer of C(15) and P(30); P is N(20)'s provider;
+	// C is N's customer; N serves 24 stubs (the paper's example).
+	b := sbgp.NewBuilder()
+	b.AddCustomer(30, 20).AddCustomer(20, 15).AddCustomer(15, 10).AddCustomer(30, 10)
+	for i := int32(0); i < 24; i++ {
+		b.AddCustomer(20, 40+i)
+	}
+	b.MarkCP(10).SetWeight(10, 821) // wCP=821 ⇔ x=10% on the paper's graph
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// State: CP, P, N and N's simplex stubs secure; C insecure.
+	secure := make([]bool, g.N())
+	for _, asn := range []int32{10, 30, 20} {
+		secure[g.Index(asn)] = true
+	}
+	for i := int32(0); i < 24; i++ {
+		secure[g.Index(40+i)] = true
+	}
+
+	cfg := sbgp.Config{Model: sbgp.Incoming, Tiebreaker: sbgp.LowestIndex{}}
+	base, proj, err := sbgp.EvaluateFlip(g, secure, cfg, g.Index(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== buyer's remorse (Figure 13) ===")
+	fmt.Printf("ISP N incoming utility secure:   %8.0f\n", base)
+	fmt.Printf("ISP N incoming utility disabled: %8.0f (%+.0f%%)\n", proj, 100*(proj/base-1))
+
+	cfg.Model = sbgp.Outgoing
+	base, proj, _ = sbgp.EvaluateFlip(g, secure, cfg, g.Index(20))
+	fmt.Printf("outgoing model (Theorem 6.2):    %8.0f -> %.0f (no incentive)\n", base, proj)
+}
+
+// oscillator builds an asymmetric chicken game between two peering ISPs
+// and watches the deployment process cycle with period 4.
+func oscillator() {
+	// See internal/gadgets.NewOscillator for the construction; here we
+	// rebuild it through the public API.
+	b := sbgp.NewBuilder()
+	b.AddPeer(50, 60).AddPeer(25, 60)
+	// X's side: attraction via C_X(30), bypass D1(10)-D2(11), remorse
+	// CP B_X(81) homed to C'_X(20) and Y(60).
+	b.AddCustomer(50, 70).AddCustomer(50, 71).AddCustomer(50, 30).AddCustomer(50, 20)
+	b.AddCustomer(30, 80)
+	b.AddCustomer(10, 80).AddCustomer(10, 11).AddCustomer(11, 70)
+	b.AddCustomer(20, 81).AddCustomer(60, 81)
+	// Y's side: attraction through X (A_Y targets X's stub 70), remorse
+	// via secure peer E_Y(25).
+	b.AddCustomer(60, 73).AddCustomer(60, 31).AddCustomer(60, 21)
+	b.AddCustomer(31, 82)
+	b.AddCustomer(12, 82).AddCustomer(12, 13).AddCustomer(13, 14).AddCustomer(14, 70)
+	b.AddCustomer(21, 83).AddCustomer(25, 83)
+	for _, cp := range []int32{80, 81, 82, 83, 20, 21, 25} {
+		b.MarkCP(cp)
+	}
+	b.SetWeight(80, 10).SetWeight(81, 30).SetWeight(82, 30).SetWeight(83, 10)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var adopters []int32
+	for _, asn := range []int32{80, 81, 82, 83, 30, 31, 25, 70, 71, 73} {
+		adopters = append(adopters, g.Index(asn))
+	}
+	res, err := sbgp.Run(g, sbgp.Config{
+		Model:          sbgp.Incoming,
+		EarlyAdopters:  adopters,
+		StubsBreakTies: false,
+		Tiebreaker:     sbgp.LowestIndex{},
+		MaxRounds:      40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== oscillation (Appendix F) ===")
+	for r, rd := range res.Rounds {
+		for _, i := range rd.Deployed {
+			fmt.Printf("round %d: AS%d deploys\n", r+1, g.ASN(i))
+		}
+		for _, i := range rd.Disabled {
+			fmt.Printf("round %d: AS%d DISABLES\n", r+1, g.ASN(i))
+		}
+	}
+	fmt.Printf("oscillated=%v, period=%d — the process never stabilizes\n",
+		res.Oscillated, res.CycleLen)
+}

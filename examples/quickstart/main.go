@@ -1,0 +1,47 @@
+// Quickstart: generate a small Internet-like topology, seed a handful
+// of early adopters, run the deployment game, and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sbgp"
+)
+
+func main() {
+	// A 1,000-AS synthetic topology with the paper's structure: ~85%
+	// stubs, a Tier-1 clique, five content providers.
+	g, err := sbgp.GenerateTopology(sbgp.DefaultTopology(1000, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The five CPs originate 10% of all traffic (Section 3.1).
+	g.SetCPTrafficFraction(0.10)
+
+	// The paper's case-study seeding: five CPs + five biggest ISPs.
+	cfg := sbgp.Config{
+		Model:          sbgp.Outgoing, // ISPs value traffic they send toward customers
+		Theta:          0.05,          // deploy when the gain exceeds 5%
+		EarlyAdopters:  sbgp.CPsPlusTopISPs(g, 5),
+		StubsBreakTies: true,
+	}
+
+	res, err := sbgp.Run(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("deployment ran %d rounds (stable=%v)\n", res.NumRounds(), res.Stable)
+	newASes, newISPs := res.NewPerRound()
+	for r := range newASes {
+		fmt.Printf("  round %2d: %4d ASes deployed (%d full ISPs, rest simplex stubs)\n",
+			r+1, newASes[r], newISPs[r])
+	}
+	fmt.Printf("\n%s", res.Summary(g))
+
+	// How much of the path matrix did that secure?
+	sp := sbgp.ComputeSecurePaths(g, res.FinalSecure, true, sbgp.HashTiebreaker{})
+	fmt.Printf("fully-secure paths: %.1f%% of all src-dst pairs (f²=%.1f%%)\n",
+		100*sp.Fraction, 100*sp.SecureASFraction*sp.SecureASFraction)
+}

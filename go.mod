@@ -1,0 +1,3 @@
+module sbgp
+
+go 1.22

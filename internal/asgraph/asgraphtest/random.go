@@ -1,0 +1,56 @@
+// Package asgraphtest provides random valid AS graphs for property-based
+// and differential tests. Unlike package topogen (which aims for
+// Internet-like structure), these generators aim for adversarial variety:
+// they emit arbitrary GR1-valid topologies including disconnected ones.
+package asgraphtest
+
+import (
+	"math/rand"
+
+	"sbgp/internal/asgraph"
+)
+
+// Random returns a random GR1-valid graph with n ASes. Each ordered pair
+// (i, j) with i < j independently gets a customer edge (i provider of j)
+// with probability pCust, otherwise a peering edge with probability
+// pPeer. Directing all customer edges from lower to higher ASN guarantees
+// acyclicity. A random subset of childless nodes is marked CP with
+// probability pCP.
+func Random(rng *rand.Rand, n int, pCust, pPeer, pCP float64) *asgraph.Graph {
+	b := asgraph.NewBuilder()
+	for i := 1; i <= n; i++ {
+		b.AddAS(int32(i))
+	}
+	hasCustomer := make(map[int32]bool)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			r := rng.Float64()
+			switch {
+			case r < pCust:
+				b.AddCustomer(int32(i), int32(j))
+				hasCustomer[int32(i)] = true
+			case r < pCust+pPeer:
+				b.AddPeer(int32(i), int32(j))
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !hasCustomer[int32(i)] && rng.Float64() < pCP {
+			b.MarkCP(int32(i))
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomState returns a random deployment state over g: each AS is
+// secure with probability pSecure; secure ASes break ties on security
+// with probability pBreaks (others always break ties).
+func RandomState(rng *rand.Rand, n int, pSecure, pBreaks float64) (sec, brk []bool) {
+	sec = make([]bool, n)
+	brk = make([]bool, n)
+	for i := range sec {
+		sec[i] = rng.Float64() < pSecure
+		brk[i] = rng.Float64() < pBreaks
+	}
+	return sec, brk
+}

@@ -1,0 +1,256 @@
+package asgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates ASes and relationship edges and produces an
+// immutable Graph. ASes are identified by external AS number; dense
+// indices are assigned at Build time in ascending ASN order, so a given
+// edge set always produces the same graph.
+//
+// The zero value is not usable; create builders with NewBuilder.
+type Builder struct {
+	nodes   map[int32]*nodeSpec
+	errList []error
+}
+
+type nodeSpec struct {
+	asn       int32
+	class     Class
+	classSet  bool
+	weight    float64
+	weightSet bool
+	customers map[int32]struct{}
+	peers     map[int32]struct{}
+	providers map[int32]struct{}
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{nodes: make(map[int32]*nodeSpec)}
+}
+
+func (b *Builder) node(asn int32) *nodeSpec {
+	s, ok := b.nodes[asn]
+	if !ok {
+		s = &nodeSpec{
+			asn:       asn,
+			customers: make(map[int32]struct{}),
+			peers:     make(map[int32]struct{}),
+			providers: make(map[int32]struct{}),
+		}
+		b.nodes[asn] = s
+	}
+	return s
+}
+
+// AddAS declares an AS without any edges. It is idempotent and optional:
+// ASes referenced by edges are created automatically.
+func (b *Builder) AddAS(asn int32) *Builder {
+	b.node(asn)
+	return b
+}
+
+// AddCustomer records that customer pays provider for transit
+// (a customer-to-provider edge). Self-loops and conflicting duplicate
+// relationships are reported at Build time.
+func (b *Builder) AddCustomer(provider, customer int32) *Builder {
+	if provider == customer {
+		b.errList = append(b.errList, fmt.Errorf("self-loop on AS %d", provider))
+		return b
+	}
+	b.node(provider).customers[customer] = struct{}{}
+	b.node(customer).providers[provider] = struct{}{}
+	return b
+}
+
+// AddPeer records a settlement-free peering edge between a and b.
+func (b *Builder) AddPeer(a, bb int32) *Builder {
+	if a == bb {
+		b.errList = append(b.errList, fmt.Errorf("self-loop on AS %d", a))
+		return b
+	}
+	b.node(a).peers[bb] = struct{}{}
+	b.node(bb).peers[a] = struct{}{}
+	return b
+}
+
+// SetClass forces the class of an AS. Without an explicit class, Build
+// derives it: ASes with no customers are stubs, all others are ISPs.
+func (b *Builder) SetClass(asn int32, c Class) *Builder {
+	s := b.node(asn)
+	s.class = c
+	s.classSet = true
+	return b
+}
+
+// MarkCP is shorthand for SetClass(asn, ContentProvider).
+func (b *Builder) MarkCP(asn int32) *Builder { return b.SetClass(asn, ContentProvider) }
+
+// SetWeight forces the traffic weight of an AS. Without an explicit
+// weight every AS gets unit weight; use Graph.SetCPTrafficFraction for
+// the paper's CP weighting.
+func (b *Builder) SetWeight(asn int32, w float64) *Builder {
+	s := b.node(asn)
+	s.weight = w
+	s.weightSet = true
+	return b
+}
+
+// Build validates the accumulated topology and returns the immutable
+// Graph. Validation enforces:
+//
+//   - no self loops and no AS pair with more than one relationship,
+//   - GR1: the customer→provider digraph is acyclic (no AS is an
+//     indirect customer of itself), per Gao-Rexford,
+//   - declared stubs have no customers.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errList) > 0 {
+		return nil, b.errList[0]
+	}
+	asns := make([]int32, 0, len(b.nodes))
+	for asn := range b.nodes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	idx := make(map[int32]int32, len(asns))
+	for i, asn := range asns {
+		idx[asn] = int32(i)
+	}
+
+	n := len(asns)
+	g := &Graph{
+		n:        n,
+		class:    make([]Class, n),
+		weight:   make([]float64, n),
+		asn:      asns,
+		asnIndex: idx,
+	}
+
+	// Check for conflicting relationships on the same pair.
+	for _, asn := range asns {
+		s := b.nodes[asn]
+		for c := range s.customers {
+			if _, ok := s.peers[c]; ok {
+				return nil, fmt.Errorf("ASes %d and %d have both peer and customer relationship", asn, c)
+			}
+			if _, ok := s.providers[c]; ok {
+				return nil, fmt.Errorf("ASes %d and %d are each other's customer", asn, c)
+			}
+		}
+		for p := range s.peers {
+			if _, ok := s.providers[p]; ok {
+				return nil, fmt.Errorf("ASes %d and %d have both peer and provider relationship", asn, p)
+			}
+		}
+	}
+
+	g.custOff, g.custAdj = buildCSR(asns, idx, func(s *nodeSpec) map[int32]struct{} { return s.customers }, b.nodes)
+	g.peerOff, g.peerAdj = buildCSR(asns, idx, func(s *nodeSpec) map[int32]struct{} { return s.peers }, b.nodes)
+	g.provOff, g.provAdj = buildCSR(asns, idx, func(s *nodeSpec) map[int32]struct{} { return s.providers }, b.nodes)
+
+	// Classes: explicit where set, derived otherwise.
+	for i, asn := range asns {
+		s := b.nodes[asn]
+		switch {
+		case s.classSet:
+			g.class[i] = s.class
+			if s.class == Stub && len(s.customers) > 0 {
+				return nil, fmt.Errorf("AS %d declared stub but has %d customers", asn, len(s.customers))
+			}
+		case len(s.customers) == 0:
+			g.class[i] = Stub
+		default:
+			g.class[i] = ISP
+		}
+	}
+
+	// Weights: explicit where set, unit otherwise.
+	for i, asn := range asns {
+		s := b.nodes[asn]
+		if s.weightSet {
+			g.weight[i] = s.weight
+		} else {
+			g.weight[i] = 1
+		}
+	}
+
+	if cyc := findCustProvCycle(g); cyc != nil {
+		return nil, fmt.Errorf("GR1 violation: customer-provider cycle through AS %d", g.asn[*cyc])
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and hand-built
+// gadget topologies that are known to be valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func buildCSR(asns []int32, idx map[int32]int32, sel func(*nodeSpec) map[int32]struct{}, nodes map[int32]*nodeSpec) (off, adj []int32) {
+	n := len(asns)
+	off = make([]int32, n+1)
+	for i, asn := range asns {
+		off[i+1] = off[i] + int32(len(sel(nodes[asn])))
+	}
+	adj = make([]int32, off[n])
+	for i, asn := range asns {
+		row := adj[off[i]:off[i+1]]
+		j := 0
+		for nb := range sel(nodes[asn]) {
+			row[j] = idx[nb]
+			j++
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	return off, adj
+}
+
+// findCustProvCycle looks for a cycle in the customer→provider digraph
+// using iterative three-color DFS; it returns a node on a cycle, or nil.
+func findCustProvCycle(g *Graph) *int32 {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, g.n)
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for start := int32(0); start < int32(g.n); start++ {
+		if color[start] != white {
+			continue
+		}
+		stack = append(stack[:0], frame{node: start})
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			provs := g.Providers(f.node)
+			if f.next < len(provs) {
+				nb := provs[f.next]
+				f.next++
+				switch color[nb] {
+				case white:
+					color[nb] = gray
+					stack = append(stack, frame{node: nb})
+				case gray:
+					return &nb
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

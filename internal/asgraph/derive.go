@@ -1,0 +1,26 @@
+package asgraph
+
+// NewBuilderFromGraph returns a Builder pre-populated with g's nodes,
+// edges, classes and weights, so that derived topologies (e.g. the
+// paper's augmented graph with extra content-provider peering) can be
+// constructed by adding edges and rebuilding.
+func NewBuilderFromGraph(g *Graph) *Builder {
+	b := NewBuilder()
+	for i := int32(0); i < int32(g.N()); i++ {
+		asn := g.ASN(i)
+		b.AddAS(asn)
+		b.SetClass(asn, g.Class(i))
+		if w := g.Weight(i); w != 1 {
+			b.SetWeight(asn, w)
+		}
+		for _, c := range g.Customers(i) {
+			b.AddCustomer(asn, g.ASN(c))
+		}
+		for _, p := range g.Peers(i) {
+			if i < p {
+				b.AddPeer(asn, g.ASN(p))
+			}
+		}
+	}
+	return b
+}

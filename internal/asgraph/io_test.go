@@ -1,0 +1,138 @@
+package asgraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Graph {
+	t.Helper()
+	return NewBuilder().
+		AddCustomer(1, 2).
+		AddCustomer(1, 3).
+		AddCustomer(2, 4).
+		AddPeer(2, 3).
+		MarkCP(5).
+		AddPeer(5, 1).
+		SetWeight(5, 42.5).
+		MustBuild()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestWriteReadFile(t *testing.T) {
+	g := sample(t)
+	path := filepath.Join(t.TempDir(), "topo.txt")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	g2, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("N: %d vs %d", a.N(), b.N())
+	}
+	for i := int32(0); i < int32(a.N()); i++ {
+		if a.ASN(i) != b.ASN(i) {
+			t.Fatalf("node %d: ASN %d vs %d", i, a.ASN(i), b.ASN(i))
+		}
+		if a.Class(i) != b.Class(i) {
+			t.Errorf("AS %d: class %v vs %v", a.ASN(i), a.Class(i), b.Class(i))
+		}
+		if a.Weight(i) != b.Weight(i) {
+			t.Errorf("AS %d: weight %v vs %v", a.ASN(i), a.Weight(i), b.Weight(i))
+		}
+		if len(a.Customers(i)) != len(b.Customers(i)) ||
+			len(a.Peers(i)) != len(b.Peers(i)) ||
+			len(a.Providers(i)) != len(b.Providers(i)) {
+			t.Errorf("AS %d: adjacency size mismatch", a.ASN(i))
+		}
+		for j, c := range a.Customers(i) {
+			if b.Customers(i)[j] != c {
+				t.Errorf("AS %d: customer %d differs", a.ASN(i), j)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"edge 1 2",                   // too few args
+		"edge 1 2 sibling",           // unknown kind
+		"edge x 2 p2c",               // bad ASN
+		"cp",                         // missing arg
+		"weight 1 abc",               // bad weight
+		"frobnicate 1 2",             // unknown directive
+		"edge 1 1 p2c",               // self loop -> build error
+		"edge 1 2 p2c\nedge 2 1 p2c", // mutual customers
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q): expected error", in)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nedge 1 2 p2c\n   \n# trailing\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.N() != 2 {
+		t.Errorf("N = %d, want 2", g.N())
+	}
+}
+
+func TestParseCAIDA(t *testing.T) {
+	in := `# serial-1
+1|2|-1
+1|3|-1
+2|3|0
+2|4|-1
+`
+	g, err := ParseCAIDA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseCAIDA: %v", err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	i1, i2 := g.Index(1), g.Index(2)
+	if g.Rel(i1, i2) != RelCustomer {
+		t.Errorf("Rel(1,2) = %v, want customer", g.Rel(i1, i2))
+	}
+	if g.Rel(i2, g.Index(3)) != RelPeer {
+		t.Errorf("Rel(2,3) = %v, want peer", g.Rel(i2, g.Index(3)))
+	}
+	if !g.IsStub(g.Index(4)) {
+		t.Error("AS 4 should be a stub")
+	}
+}
+
+func TestParseCAIDAErrors(t *testing.T) {
+	for _, in := range []string{"1|2", "1|2|7", "a|2|0"} {
+		if _, err := ParseCAIDA(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseCAIDA(%q): expected error", in)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package asgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSerializationRoundTrip: any valid random graph survives a
+// Write/Read cycle exactly (classes, weights, edges, indices).
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Log(err)
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if g.N() != g2.N() {
+			return false
+		}
+		for i := int32(0); i < int32(g.N()); i++ {
+			if g.ASN(i) != g2.ASN(i) || g.Class(i) != g2.Class(i) || g.Weight(i) != g2.Weight(i) {
+				return false
+			}
+			if !sliceEq(g.Customers(i), g2.Customers(i)) ||
+				!sliceEq(g.Peers(i), g2.Peers(i)) ||
+				!sliceEq(g.Providers(i), g2.Providers(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph builds a random GR1-valid graph with random classes and
+// weights (duplicated from asgraphtest to avoid an import cycle).
+func randomGraph(rng *rand.Rand) *Graph {
+	n := 3 + rng.Intn(25)
+	b := NewBuilder()
+	hasCust := map[int32]bool{}
+	for i := 1; i <= n; i++ {
+		b.AddAS(int32(i))
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			switch r := rng.Float64(); {
+			case r < 0.15:
+				b.AddCustomer(int32(i), int32(j))
+				hasCust[int32(i)] = true
+			case r < 0.25:
+				b.AddPeer(int32(i), int32(j))
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !hasCust[int32(i)] && rng.Float64() < 0.3 {
+			b.MarkCP(int32(i))
+		}
+		if rng.Float64() < 0.3 {
+			b.SetWeight(int32(i), float64(1+rng.Intn(100)))
+		}
+	}
+	return b.MustBuild()
+}
+
+func sliceEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickGR1Rejection: planting a random customer-provider cycle in
+// an otherwise random graph is always rejected.
+func TestQuickGR1Rejection(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		b := NewBuilder()
+		for i := 1; i <= n; i++ {
+			b.AddAS(int32(i))
+		}
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if rng.Float64() < 0.1 {
+					b.AddCustomer(int32(i), int32(j))
+				}
+			}
+		}
+		// Plant a directed provider cycle through 3 random distinct ASes.
+		x := int32(1 + rng.Intn(n))
+		y := int32(1 + rng.Intn(n))
+		z := int32(1 + rng.Intn(n))
+		if x == y || y == z || x == z {
+			return true // skip degenerate draws
+		}
+		b.AddCustomer(x, y).AddCustomer(y, z).AddCustomer(z, x)
+		_, err := b.Build()
+		return err != nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation over the synthetic substrate: each experiment id (table1,
+// fig3, ...) maps to a runner that executes the relevant simulations and
+// prints the same rows or series the paper reports. cmd/experiments is
+// the CLI front end; bench_test.go wraps the same runners as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sbgp/internal/adopters"
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+	"sbgp/internal/sim"
+	"sbgp/internal/topogen"
+)
+
+// Options configures a run. The defaults target a laptop-scale graph
+// that preserves the paper's structural ratios.
+type Options struct {
+	// N is the synthetic graph size (default 1200).
+	N int
+	// Seed drives topology generation and all randomized choices.
+	Seed int64
+	// X is the fraction of traffic originated by the content providers
+	// (default 0.10, the paper's base case).
+	X float64
+	// Workers caps simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Out receives the experiment's report (default io.Discard).
+	Out io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 1200
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.X == 0 {
+		o.X = 0.10
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// Runner executes one experiment.
+type Runner func(Options) error
+
+// registry maps experiment ids to runners, in the paper's order.
+var registry = []struct {
+	ID, Desc string
+	Run      Runner
+}{
+	{"table1", "DIAMOND competition counts per early adopter", Table1},
+	{"table2", "graph summaries: base vs augmented", Table2},
+	{"table3", "CP mean path lengths: base vs augmented", Table3},
+	{"table4", "CP vs Tier-1 degrees", Table4},
+	{"fig2", "a DIAMOND case study located in the graph", Fig2},
+	{"fig3", "newly secure ASes and ISPs per round", Fig3},
+	{"fig4", "normalized utility trajectories of diamond ISPs", Fig4},
+	{"fig5", "median (projected) utility of deployers per round", Fig5},
+	{"fig6", "cumulative ISP adoption by degree bin", Fig6},
+	{"fig7", "secure-path growth across rounds", Fig7},
+	{"fig8", "adoption vs threshold θ per early-adopter set", Fig8},
+	{"fig9", "secure path fraction vs θ (compare to f²)", Fig9},
+	{"fig10", "tiebreak-set size distribution", Fig10},
+	{"fig11", "sensitivity to stubs breaking ties", Fig11},
+	{"fig12", "CPs vs Tier-1s across traffic shares and graphs", Fig12},
+	{"fig13", "buyer's remorse: incoming-utility turn-off", Fig13},
+	{"fig14", "projection accuracy of the update rule", Fig14},
+	{"fig15", "partially-secure path preference attack", Fig15},
+	{"fig16", "set-cover reduction (Theorem 6.1)", Fig16},
+	{"fig17", "deployment oscillation (Appendix F)", Fig17},
+	{"sec73", "turn-off incentive scan over the final state", Sec73},
+	{"ext-attack", "extension: hijack resilience vs deployment state", ExtAttack},
+	{"ext-perlink", "extension: per-link deployment (Thm J.1/J.2)", ExtPerLink},
+	{"ext-bootstrap", "extension: projection-semantics ablation", ExtBootstrap},
+	{"ext-jitter", "extension: heterogeneous thresholds (Section 8.2)", ExtJitter},
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Describe returns the one-line description for an id ("" if unknown).
+func Describe(id string) string {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Desc
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) error {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+}
+
+// baseGraph builds the standard synthetic graph for the options.
+func baseGraph(opt Options) *asgraph.Graph {
+	g := topogen.MustGenerate(topogen.Default(opt.N, opt.Seed))
+	g.SetCPTrafficFraction(opt.X)
+	return g
+}
+
+// caseStudyConfig mirrors the paper's Section 5 case study: the five
+// CPs plus the top five ISPs as early adopters, θ=5%, stubs breaking
+// ties, outgoing utility.
+func caseStudyConfig(g *asgraph.Graph, opt Options) sim.Config {
+	return sim.Config{
+		Model:           sim.Outgoing,
+		Theta:           0.05,
+		EarlyAdopters:   adopters.CPsPlusTopISPs(g, 5),
+		StubsBreakTies:  true,
+		Tiebreaker:      routing.HashTiebreaker{Seed: uint64(opt.Seed)},
+		Workers:         opt.Workers,
+		RecordUtilities: true,
+	}
+}
+
+// adopterSets returns the paper's Figure 8 early-adopter sets, with the
+// "200 ISPs" sets scaled to the same share of the ISP population the
+// paper used (200 of 5,992 ≈ 3.3%, with a floor of 10).
+type adopterSet struct {
+	Name  string
+	Nodes []int32
+}
+
+func adopterSets(g *asgraph.Graph, seed int64) []adopterSet {
+	nISPs := len(g.Nodes(asgraph.ISP))
+	big := nISPs / 10
+	if big < 10 {
+		big = 10
+	}
+	return []adopterSet{
+		{"none", nil},
+		{"5cps", adopters.ContentProviders(g)},
+		{"top5", adopters.TopISPs(g, 5)},
+		{"5cps+top5", adopters.CPsPlusTopISPs(g, 5)},
+		{fmt.Sprintf("top%d", big), adopters.TopISPs(g, big)},
+		{fmt.Sprintf("random%d", big), adopters.RandomISPs(g, big, seed)},
+	}
+}
+
+// thetas is the θ sweep used throughout Section 6.
+var thetas = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50}
+
+func runOnce(g *asgraph.Graph, cfg sim.Config) *sim.Result {
+	return sim.MustNew(g, cfg).Run()
+}
+
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// sortedKeys returns map keys ascending (for deterministic output).
+func sortedKeys(m map[int32]int64) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

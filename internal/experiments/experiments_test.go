@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallOpt keeps experiment tests fast while exercising every runner
+// end to end.
+func smallOpt(buf *bytes.Buffer) Options {
+	return Options{N: 250, Seed: 5, X: 0.10, Out: buf}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(id, smallOpt(&buf)); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s: produced no output", id)
+			}
+			if !strings.HasPrefix(buf.String(), "#") {
+				t.Errorf("%s: output should start with a titled header, got %q",
+					id, firstLine(buf.String()))
+			}
+		})
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func TestUnknownID(t *testing.T) {
+	if err := Run("nope", Options{}); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if Describe("nope") != "" {
+		t.Error("unknown id described")
+	}
+	if Describe("fig3") == "" {
+		t.Error("fig3 should have a description")
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 25 {
+		t.Errorf("got %d experiments, want 25 (tables, figures, sec 7.3, extensions)", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "table4",
+		"fig2", "fig8", "fig10", "fig13", "fig16", "fig17", "sec73",
+		"ext-attack", "ext-perlink", "ext-bootstrap"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestFig17ReportsOscillation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig17", smallOpt(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "oscillated=true") {
+		t.Errorf("fig17 should report an oscillation, got:\n%s", buf.String())
+	}
+}
+
+func TestFig13ReportsGain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig13", smallOpt(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "turned off") || !strings.Contains(out, "+") {
+		t.Errorf("fig13 should report a positive turn-off gain, got:\n%s", out)
+	}
+}
+
+func TestFig15ReportsHijack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig15", smallOpt(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hijacked=false") || !strings.Contains(out, "hijacked=true") {
+		t.Errorf("fig15 should contrast the two rules, got:\n%s", out)
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbgp/internal/adopters"
+	"sbgp/internal/attack"
+	"sbgp/internal/gadgets"
+	"sbgp/internal/perlink"
+	"sbgp/internal/routing"
+	"sbgp/internal/sim"
+)
+
+// ExtAttack quantifies hijack resilience across deployment states — the
+// evaluation the paper defers to future work (Section 6.4) using the
+// methodology of [15] it cites in Section 2.2.1: random attacker/victim
+// pairs, fraction of ASes deceived.
+func ExtAttack(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	tb := routing.HashTiebreaker{Seed: uint64(opt.Seed)}
+	samples := 40
+
+	// Deployment states: none, the θ=5% case-study outcome, everyone.
+	none := make([]bool, g.N())
+	res := runOnce(g, caseStudyConfig(g, opt))
+	partial := res.FinalSecure
+	full := make([]bool, g.N())
+	for i := range full {
+		full[i] = true
+	}
+
+	fmt.Fprintf(opt.Out, "# Extension: prefix-hijack resilience vs deployment (N=%d, %d scenarios)\n",
+		g.N(), samples)
+	fmt.Fprintf(opt.Out, "%-22s %-15s %s\n", "deployment", "policy", "mean deceived")
+	rows := []struct {
+		name   string
+		secure []bool
+		pol    attack.Policy
+	}{
+		{"none (status quo)", none, attack.TieBreakOnly},
+		{"case study (85%)", partial, attack.TieBreakOnly},
+		{"case study (85%)", partial, attack.RejectInvalid},
+		{"full", full, attack.TieBreakOnly},
+		{"full", full, attack.RejectInvalid},
+	}
+	for _, r := range rows {
+		st := attack.NewState(g, r.secure, true)
+		sum, err := attack.Sample(g, st, r.pol, tb, samples, opt.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opt.Out, "%-22s %-15s %s (max %s)\n",
+			r.name, r.pol, fmtPct(sum.MeanDeceived), fmtPct(sum.MaxDeceived))
+	}
+	fmt.Fprintf(opt.Out, "(paper, Section 2.2.1: with no security an attacker fools about half the Internet)\n")
+	return nil
+}
+
+// ExtPerLink demonstrates per-link deployment (Section 8.3): the
+// DILEMMA tradeoff behind Theorem J.1, the greedy optimizer escaping it,
+// and Theorem J.2's full-deployment optimality under outgoing utility.
+func ExtPerLink(opt Options) error {
+	opt = opt.withDefaults()
+	tb := routing.LowestIndex{}
+	dl := perlink.NewDilemma(10, 15)
+
+	st := dl.BaseState()
+	uOff, err := perlink.Utility(st, sim.Incoming, tb, dl.X)
+	if err != nil {
+		return err
+	}
+	st.Enable(dl.X, dl.Node2)
+	uOn, err := perlink.Utility(st, sim.Incoming, tb, dl.X)
+	if err != nil {
+		return err
+	}
+	st2 := dl.BaseState()
+	chosen, uGreedy, err := perlink.GreedyLinks(st2, sim.Incoming, tb, dl.X)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(opt.Out, "# Extension: per-link S*BGP deployment (Theorems J.1/J.2)\n")
+	fmt.Fprintf(opt.Out, "DILEMMA network (W1=%v, W2=%v):\n", dl.W1, dl.W2)
+	fmt.Fprintf(opt.Out, "  decision link off: X earns %.0f (holds c1's revenue)\n", uOff)
+	fmt.Fprintf(opt.Out, "  decision link on:  X earns %.0f (wins c2, loses c1)\n", uOn)
+	fmt.Fprintf(opt.Out, "  greedy over all %d links: %.0f — escapes the dilemma by dropping the\n",
+		len(perlink.Links(dl.Graph, dl.X)), uGreedy)
+	fmt.Fprintf(opt.Out, "  peering link that made c1's secure alternative possible (%d links kept)\n", len(chosen))
+
+	// Theorem J.2 on the oscillator graph: full enablement is optimal
+	// under outgoing utility for every ISP.
+	o := gadgets.NewOscillator()
+	stO := perlink.NewState(o.Graph)
+	for _, a := range o.EarlyAdopters {
+		stO.EnableAll(a)
+	}
+	stO.EnableAll(o.X)
+	fullU, err := perlink.Utility(stO, sim.Outgoing, tb, o.X)
+	if err != nil {
+		return err
+	}
+	_, greedyU, err := perlink.GreedyLinks(stO, sim.Outgoing, tb, o.X)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "Theorem J.2 check (outgoing utility): full=%.0f, greedy=%.0f (no profitable drop)\n",
+		fullU, greedyU)
+	return nil
+}
+
+// ExtBootstrap contrasts the two readings of the myopic update rule:
+// the paper's Appendix C.4 flip-only projection vs bundling the ISP's
+// simplex stub upgrades into the projected action (which Appendix E's
+// reduction — and the paper's own θ=0/no-adopter footnote — implicitly
+// assume). Bundled projections let deployment bootstrap without any
+// early adopters.
+func ExtBootstrap(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	fmt.Fprintf(opt.Out, "# Extension: projection semantics ablation (N=%d)\n", g.N())
+	fmt.Fprintf(opt.Out, "%-14s %-6s %-18s %s\n", "adopters", "theta", "flip-only:frac", "bundled-stubs:frac")
+	sets := []adopterSet{
+		{"none", nil},
+		{"5cps+top5", adopters.CPsPlusTopISPs(g, 5)},
+	}
+	for _, set := range sets {
+		for _, th := range []float64{0, 0.05, 0.10} {
+			var frac [2]float64
+			for k, bundle := range []bool{false, true} {
+				cfg := sim.Config{
+					Model:               sim.Outgoing,
+					Theta:               th,
+					EarlyAdopters:       set.Nodes,
+					StubsBreakTies:      true,
+					ProjectStubUpgrades: bundle,
+					Tiebreaker:          routing.HashTiebreaker{Seed: uint64(opt.Seed)},
+					Workers:             opt.Workers,
+				}
+				frac[k] = runOnce(g, cfg).SecureFractionASes()
+			}
+			fmt.Fprintf(opt.Out, "%-14s %-6.2f %-18s %s\n", set.Name, th, fmtPct(frac[0]), fmtPct(frac[1]))
+		}
+	}
+	return nil
+}
+
+// ExtJitter measures how heterogeneous deployment costs (Section 8.2's
+// "randomizing θ" extension) smooth the adoption cliff: at a uniform
+// threshold the outcome jumps between regimes, while per-ISP jitter
+// interpolates.
+func ExtJitter(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	set := adopters.CPsPlusTopISPs(g, 5)
+	fmt.Fprintf(opt.Out, "# Extension: threshold heterogeneity (Section 8.2)\n")
+	fmt.Fprintf(opt.Out, "%-6s %-10s %-10s %s\n", "theta", "uniform", "jitter50%", "jitter100%")
+	for _, th := range []float64{0.05, 0.10, 0.20, 0.30} {
+		var frac [3]float64
+		for k, j := range []float64{0, 0.5, 1.0} {
+			cfg := sim.Config{
+				Model:          sim.Outgoing,
+				Theta:          th,
+				ThetaJitter:    j,
+				ThetaSeed:      opt.Seed,
+				EarlyAdopters:  set,
+				StubsBreakTies: true,
+				Tiebreaker:     routing.HashTiebreaker{Seed: uint64(opt.Seed)},
+				Workers:        opt.Workers,
+			}
+			frac[k] = runOnce(g, cfg).SecureFractionASes()
+		}
+		fmt.Fprintf(opt.Out, "%-6.2f %-10s %-10s %s\n", th, fmtPct(frac[0]), fmtPct(frac[1]), fmtPct(frac[2]))
+	}
+	return nil
+}

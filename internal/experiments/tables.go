@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbgp/internal/adopters"
+	"sbgp/internal/asgraph"
+	"sbgp/internal/metrics"
+	"sbgp/internal/routing"
+	"sbgp/internal/topogen"
+)
+
+// Table1 counts DIAMOND competition scenarios around each early adopter
+// of the case-study set: pairs of ISPs holding equally-good paths from
+// the adopter to a stub destination.
+func Table1(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	set := adopters.CPsPlusTopISPs(g, 5)
+	counts := metrics.CountDiamonds(g, set)
+	fmt.Fprintf(opt.Out, "# Table 1: DIAMOND scenarios per early adopter (N=%d)\n", g.N())
+	fmt.Fprintf(opt.Out, "%-10s %-6s %-8s %s\n", "adopter", "class", "degree", "diamonds")
+	var total int64
+	for _, a := range sortedKeys(counts) {
+		fmt.Fprintf(opt.Out, "AS%-8d %-6s %-8d %d\n", g.ASN(a), g.Class(a), g.Degree(a), counts[a])
+		total += counts[a]
+	}
+	fmt.Fprintf(opt.Out, "total diamonds: %d\n", total)
+	return nil
+}
+
+// Table2 prints graph summaries for the base and augmented graphs
+// (the paper's Cyclops+IXP vs augmented comparison).
+func Table2(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	aug, err := topogen.Augment(g, opt.Seed, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "# Table 2: AS graph summaries\n")
+	for _, row := range []struct {
+		name string
+		g    *asgraph.Graph
+	}{{"base", g}, {"augmented", aug}} {
+		s := asgraph.ComputeStats(row.g)
+		fmt.Fprintf(opt.Out, "%-10s ASes=%d  peering=%d  customer-provider=%d  stubs=%s  multihomed-stubs=%s\n",
+			row.name, s.ASes, s.PeeringEdges, s.CustProvEdges,
+			fmtPct(float64(s.Stubs)/float64(s.ASes)),
+			fmtPct(float64(s.MultiHomedStubs)/float64(s.Stubs)))
+	}
+	return nil
+}
+
+// Table3 compares every content provider's mean path length to all
+// destinations on the base and augmented graphs (paper: 2.7-6.9 hops
+// dropping to ~2.1).
+func Table3(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	aug, err := topogen.Augment(g, opt.Seed, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "# Table 3: mean CP path length to all destinations\n")
+	fmt.Fprintf(opt.Out, "%-10s %-10s %s\n", "CP", "base", "augmented")
+	for k, cp := range g.Nodes(asgraph.ContentProvider) {
+		pb := meanPathFrom(g, cp)
+		pa := meanPathFrom(aug, aug.Nodes(asgraph.ContentProvider)[k])
+		fmt.Fprintf(opt.Out, "AS%-8d %-10.2f %.2f\n", g.ASN(cp), pb, pa)
+	}
+	return nil
+}
+
+// meanPathFrom computes the mean routing path length from src to every
+// reachable destination. Paths from src are read off the per-destination
+// static info (src's best-route length toward each destination).
+func meanPathFrom(g *asgraph.Graph, src int32) float64 {
+	w := routing.NewWorkspace(g)
+	var sum, cnt float64
+	for d := int32(0); d < int32(g.N()); d++ {
+		if d == src {
+			continue
+		}
+		s := w.ComputeStatic(d)
+		if s.Type[src] != routing.NoRoute {
+			sum += float64(s.Len[src])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / cnt
+}
+
+// Table4 compares content-provider degrees to the top Tier-1 degrees on
+// both graphs (paper Table 4: augmentation lifts CPs above the Tier-1s).
+func Table4(opt Options) error {
+	opt = opt.withDefaults()
+	g := baseGraph(opt)
+	aug, err := topogen.Augment(g, opt.Seed, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "# Table 4: degrees of CPs vs top-5 Tier-1 ISPs\n")
+	fmt.Fprintf(opt.Out, "%-12s %-8s %s\n", "AS", "base", "augmented")
+	for k, cp := range g.Nodes(asgraph.ContentProvider) {
+		fmt.Fprintf(opt.Out, "CP AS%-7d %-8d %d\n",
+			g.ASN(cp), g.Degree(cp), aug.Degree(aug.Nodes(asgraph.ContentProvider)[k]))
+	}
+	for _, t := range adopters.TopISPs(g, 5) {
+		fmt.Fprintf(opt.Out, "T1 AS%-7d %-8d %d\n", g.ASN(t), g.Degree(t), aug.Degree(t))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package gadgets
+
+import (
+	"sbgp/internal/asgraph"
+)
+
+// Oscillator is a concrete instance of Appendix F's phenomenon: under
+// the incoming utility model, myopic best response can cycle forever
+// (which is why Theorem 7.1's PSPACE-hardness of deciding termination
+// is not vacuous).
+//
+// The construction interlocks two ISPs, X and Y (peers), so that Y
+// *coordinates* with X while X *anti-coordinates* with Y — the "dog
+// chases tail" structure of the paper's asymmetric chicken game:
+//
+//	X's attraction (active when X on): CP A_X (weight 10) has two
+//	    equal provider routes to X's stub tX: through X's secure
+//	    customer C_X (fully secure ⟺ X on; enters X on a customer
+//	    edge) and a tie-break-preferred insecure bypass D1_X→D2_X.
+//	X's remorse (active when X and Y on): CP B_X (weight 30) is a
+//	    customer of both C'_X (an insecure CP conduit below X) and of
+//	    Y. Its route B_X→Y→X→… becomes fully secure exactly when both
+//	    ISPs are on, pulling the traffic off X's customer edge onto
+//	    the X–Y peering edge.
+//	Y's attraction (active when X and Y on): CP A_Y (weight 30)
+//	    reaches X's stub tX through C_Y→Y→X — fully secure only when
+//	    both are on (enters Y on a customer edge) — against a
+//	    tie-break-preferred insecure bypass D1_Y→D2_Y→D3_Y.
+//	Y's remorse (active when Y on, regardless of X): CP B_Y (weight
+//	    10) reaches Y's stub t'Y through Y's secure *peer* E_Y — fully
+//	    secure whenever Y is on — against the tie-break-preferred
+//	    conduit C'_Y (Y's customer).
+//
+// Best responses: X wants on iff Y is off (gain 10 vs. loss ≈ 30·k);
+// Y wants on iff X is on (gain 30+transit vs. loss 10). From the seed
+// state (off,off) the process cycles
+//
+//	(off,off) → (on,off) → (on,on) → (off,on) → (off,off) → …
+//
+// with period 4, never reaching a stable state.
+type Oscillator struct {
+	Graph *asgraph.Graph
+	X, Y  int32
+	// AX, BX, AY, BY are the content providers driving the cycle.
+	AX, BX, AY, BY int32
+	// EarlyAdopters arms the cycle: the four CPs, the secure conduits
+	// C_X, C_Y and E_Y, and the three stubs.
+	EarlyAdopters []int32
+}
+
+// NewOscillator builds the gadget. Run it with sim.Config{Model:
+// Incoming, Theta: 0, StubsBreakTies: false, Tiebreaker:
+// routing.LowestIndex{}} and the gadget's EarlyAdopters.
+func NewOscillator() *Oscillator {
+	const (
+		d1X, d2X      = 10, 11     // A_X's insecure bypass chain
+		d1Y, d2Y, d3Y = 12, 13, 14 // A_Y's insecure bypass chain
+		cpX, cpY      = 20, 21     // insecure CP conduits (never deploy)
+		eY            = 25         // Y's secure CP peer
+		cX, cY        = 30, 31     // secure ISP conduits
+		x, y          = 50, 60
+		tX, tpX, tpY  = 70, 71, 73
+		aX, bX        = 80, 81
+		aY, bY        = 82, 83
+	)
+	b := asgraph.NewBuilder()
+	b.AddPeer(x, y)
+	b.AddPeer(eY, y)
+
+	// X's side.
+	b.AddCustomer(x, tX).AddCustomer(x, tpX)
+	b.AddCustomer(x, cX).AddCustomer(x, cpX)
+	b.AddCustomer(cX, aX)
+	b.AddCustomer(d1X, aX).AddCustomer(d1X, d2X).AddCustomer(d2X, tX)
+	b.AddCustomer(cpX, bX)
+	b.AddCustomer(y, bX)
+
+	// Y's side.
+	b.AddCustomer(y, tpY)
+	b.AddCustomer(y, cY).AddCustomer(y, cpY)
+	b.AddCustomer(cY, aY)
+	b.AddCustomer(d1Y, aY).AddCustomer(d1Y, d2Y).AddCustomer(d2Y, d3Y).AddCustomer(d3Y, tX)
+	b.AddCustomer(cpY, bY)
+	b.AddCustomer(eY, bY)
+
+	for _, cp := range []int32{aX, bX, aY, bY, cpX, cpY, eY} {
+		b.MarkCP(cp)
+	}
+	b.SetWeight(aX, 10).SetWeight(bX, 30)
+	b.SetWeight(aY, 30).SetWeight(bY, 10)
+
+	g := b.MustBuild()
+	o := &Oscillator{
+		Graph: g,
+		X:     g.Index(x), Y: g.Index(y),
+		AX: g.Index(aX), BX: g.Index(bX),
+		AY: g.Index(aY), BY: g.Index(bY),
+	}
+	for _, asn := range []int32{aX, bX, aY, bY, cX, cY, eY, tX, tpX, tpY} {
+		o.EarlyAdopters = append(o.EarlyAdopters, g.Index(asn))
+	}
+	return o
+}

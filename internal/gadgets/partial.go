@@ -1,0 +1,112 @@
+package gadgets
+
+// PartialAttack demonstrates Appendix B (Figure 15): preferring
+// partially-secure paths over insecure ones introduces an attack vector
+// that does not exist without S*BGP.
+//
+// The scenario: secure AS p wants to reach victim prefix v. A malicious
+// AS m falsely announces the direct path (m, v). p learns two candidate
+// routes of equal local preference and length:
+//
+//	via its secure neighbor q:   (p, q, m, v)  — partially secure,
+//	                             because p and q are secure but m is not
+//	                             (and the path is a lie);
+//	via its insecure neighbor r: (p, r, s, v)  — the true route.
+//
+// p's intradomain tie-break prefers the r route. Under the paper's rule
+// (only fully secure paths get preference) the false path is never
+// fully secure — m cannot produce v's signatures — so p keeps the true
+// route. Under the hypothetical "prefer partially secure" rule, the q
+// route's longer secure prefix wins and p is hijacked.
+type PartialAttack struct {
+	// Secure flags the ASes that deployed S*BGP along each candidate.
+	// Path node order is decider-first.
+	FalsePath       []string
+	FalsePathSecure []bool
+	TruePath        []string
+	TruePathSecure  []bool
+	// TiebreakPrefersTrue reflects p's intradomain preference.
+	TiebreakPrefersTrue bool
+}
+
+// NewPartialAttack returns the Figure 15 instance.
+func NewPartialAttack() *PartialAttack {
+	return &PartialAttack{
+		FalsePath:           []string{"p", "q", "m", "v"},
+		FalsePathSecure:     []bool{true, true, false, false},
+		TruePath:            []string{"p", "r", "s", "v"},
+		TruePathSecure:      []bool{true, false, false, false},
+		TiebreakPrefersTrue: true,
+	}
+}
+
+// securePrefixLen counts leading secure ASes — the quantity a
+// "prefer partially-secure paths" rule would rank by.
+func securePrefixLen(sec []bool) int {
+	n := 0
+	for _, s := range sec {
+		if !s {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// fullySecure reports whether every AS on the path is secure.
+func fullySecure(sec []bool) bool {
+	for _, s := range sec {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// ChooseFullSecurityRule applies the paper's Section 2.2.2 rule: prefer
+// a candidate only if it is *fully* secure; otherwise fall back to the
+// tie-break. It returns the chosen path.
+func (a *PartialAttack) ChooseFullSecurityRule() []string {
+	falseSec := fullySecure(a.FalsePathSecure)
+	trueSec := fullySecure(a.TruePathSecure)
+	switch {
+	case falseSec && !trueSec:
+		return a.FalsePath
+	case trueSec && !falseSec:
+		return a.TruePath
+	}
+	if a.TiebreakPrefersTrue {
+		return a.TruePath
+	}
+	return a.FalsePath
+}
+
+// ChoosePartialPreferenceRule applies the hypothetical rule the paper
+// warns against: rank candidates by their secure prefix length.
+func (a *PartialAttack) ChoosePartialPreferenceRule() []string {
+	fp := securePrefixLen(a.FalsePathSecure)
+	tp := securePrefixLen(a.TruePathSecure)
+	switch {
+	case fp > tp:
+		return a.FalsePath
+	case tp > fp:
+		return a.TruePath
+	}
+	if a.TiebreakPrefersTrue {
+		return a.TruePath
+	}
+	return a.FalsePath
+}
+
+// Hijacked reports whether a chosen path is the attacker's false route.
+func (a *PartialAttack) Hijacked(path []string) bool {
+	if len(path) != len(a.FalsePath) {
+		return false
+	}
+	for i := range path {
+		if path[i] != a.FalsePath[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"sbgp/internal/asgraph"
+)
+
+// SetCover embodies the Theorem 6.1 / Figure 16 reduction from
+// SET-COVER to early-adopter selection. For a universe U and subsets
+// S_1..S_m it builds a network in which seeding the s_i1 gateways of a
+// sub-collection C as early adopters makes the deployment process
+// terminate with exactly
+//
+//	2·|C| + 1 + |⋃_{i∈C} S_i|
+//
+// secure ASes (the s_i1 and s_i2 pairs, the shared destination stub d,
+// and the covered element stubs) — so maximizing secure ASes over
+// early-adopter sets of size k is exactly maximizing set coverage,
+// which is NP-hard to solve or approximate within a constant.
+//
+// Topology (all edges provider→customer):
+//
+//	s_i2 → s_i1 → d            per subset i (d is customer of all s_i1)
+//	s_i2 → u_j                 for every element j ∈ S_i
+//	a2_j → a1_j → u_j          per element j: a disjoint alternative
+//	a2_j → d                   ... 3-hop route u_j → a1_j → a2_j → d
+//
+// Element stubs u_j therefore have two equal-length provider routes to
+// d; their tie-break (lowest ASN) prefers the alternative chain, so
+// only the SecP criterion can pull their traffic onto a secure s_i2
+// route — which is what gives s_i2 a deployment incentive once s_i1 is
+// an early adopter.
+//
+// The incentive chain requires the deployment action to bundle the
+// ISP's simplex stub upgrades into its projection (the reading of the
+// model that Appendix E uses), i.e. sim.Config.ProjectStubUpgrades.
+type SetCover struct {
+	Graph *asgraph.Graph
+	// D is the shared destination stub.
+	D int32
+	// S1[i] and S2[i] are subset i's gateway ISPs (s_i1, s_i2).
+	S1, S2 []int32
+	// U[j] is element j's stub.
+	U []int32
+	// Sets echoes the input collection.
+	Sets [][]int
+}
+
+// NewSetCover builds the reduction network for a universe of size
+// universe and the given subsets (element indices in [0, universe)).
+func NewSetCover(universe int, sets [][]int) (*SetCover, error) {
+	if universe <= 0 || universe > 90 || len(sets) > 90 {
+		return nil, fmt.Errorf("gadgets: set-cover instance too large (universe %d, %d sets)", universe, len(sets))
+	}
+	const (
+		dASN   = 1
+		a1Base = 100
+		a2Base = 200
+		s2Base = 300
+		s1Base = 400
+		uBase  = 500
+	)
+	b := asgraph.NewBuilder()
+	for i := range sets {
+		s1 := int32(s1Base + i)
+		s2 := int32(s2Base + i)
+		b.AddCustomer(s2, s1)   // s_i2 provider of s_i1
+		b.AddCustomer(s1, dASN) // s_i1 provider of d
+		for _, j := range sets[i] {
+			if j < 0 || j >= universe {
+				return nil, fmt.Errorf("gadgets: element %d outside universe [0,%d)", j, universe)
+			}
+			b.AddCustomer(s2, int32(uBase+j)) // s_i2 provider of u_j
+		}
+	}
+	for j := 0; j < universe; j++ {
+		a1 := int32(a1Base + j)
+		a2 := int32(a2Base + j)
+		b.AddCustomer(a1, int32(uBase+j)) // a1_j provider of u_j
+		b.AddCustomer(a2, a1)
+		b.AddCustomer(a2, dASN)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	sc := &SetCover{Graph: g, D: g.Index(dASN), Sets: sets}
+	for i := range sets {
+		sc.S1 = append(sc.S1, g.Index(int32(s1Base+i)))
+		sc.S2 = append(sc.S2, g.Index(int32(s2Base+i)))
+	}
+	for j := 0; j < universe; j++ {
+		sc.U = append(sc.U, g.Index(int32(uBase+j)))
+	}
+	return sc, nil
+}
+
+// Adopters returns the early-adopter set corresponding to choosing the
+// given subset indices in the SET-COVER instance.
+func (sc *SetCover) Adopters(chosen []int) []int32 {
+	out := make([]int32, 0, len(chosen))
+	for _, i := range chosen {
+		out = append(out, sc.S1[i])
+	}
+	return out
+}
+
+// Covered returns the union of the chosen subsets.
+func (sc *SetCover) Covered(chosen []int) map[int]bool {
+	cov := make(map[int]bool)
+	for _, i := range chosen {
+		for _, j := range sc.Sets[i] {
+			cov[j] = true
+		}
+	}
+	return cov
+}
+
+// ExpectedSecure returns the number of secure ASes the reduction
+// predicts at termination for the given choice: both gateways of every
+// chosen subset, the destination stub, and the covered elements.
+func (sc *SetCover) ExpectedSecure(chosen []int) int {
+	return 2*len(chosen) + 1 + len(sc.Covered(chosen))
+}

@@ -1,0 +1,99 @@
+package perlink
+
+import (
+	"sbgp/internal/asgraph"
+)
+
+// Dilemma is the Figure 18 DILEMMA network underlying Theorems J.1 and
+// 8.2: under incoming utility, ISP X can attract source c1's revenue or
+// source c2's revenue by its choice about one link, but never both —
+// the gadget that makes per-link optimization NP-hard.
+//
+// Construction (all CPs marked; weights W1 on c1, W2 on c2):
+//
+//	X's customer ISP "2" serves stubs d1 and d2.
+//	c2 is X's direct customer; it reaches d2 either through the fully
+//	    securable path c2→X→2→d2 or a tie-break-preferred insecure
+//	    bypass a1→a2→d2.
+//	c1 buys from the insecure conduit k (X's customer) and from the
+//	    secure conduit r (X's peer); its equal-length paths to d1 and
+//	    d2 run c1→k→X→2→… (customer entry into X, tie-break
+//	    preferred) and c1→r→X→2→… (peer entry, securable).
+//
+// With everything else enabled, X's choice about link (X,2) decides:
+//
+//	enabled:  path c2→X→2→d2 is fully secure → +W2 via the customer
+//	          edge (c2,X); but c1's r-paths to d1, d2 and node 2 also
+//	          become fully secure → that traffic shifts to peer entry
+//	          → −3·W1.
+//	disabled: c1 stays on the k-paths (+3·W1), c2 takes the bypass (0).
+//
+// So X nets W2−3·W1 by enabling: it can hold c1's revenue or win c2's,
+// never both.
+type Dilemma struct {
+	Graph *asgraph.Graph
+	X     int32
+	Node2 int32 // the customer whose link X must decide about
+	C1    int32
+	C2    int32
+	// W1 and W2 echo the construction weights.
+	W1, W2 float64
+}
+
+// NewDilemma builds the gadget with the given source weights.
+func NewDilemma(w1, w2 float64) *Dilemma {
+	const (
+		n2 = 5 // X's customer ISP "2" (lowest ASN: wins reverse-path ties
+		//         so the bypass chain never carries traffic back to c2)
+		k  = 10 // insecure CP conduit under X (tie-break favorite for c1)
+		a1 = 11 // c2's insecure bypass chain
+		a2 = 12
+		r  = 20 // secure CP conduit peering with X
+		x  = 40
+		d1 = 50
+		d2 = 51
+		c1 = 60
+		c2 = 61
+	)
+	b := asgraph.NewBuilder()
+	b.AddCustomer(x, n2)
+	b.AddCustomer(n2, d1).AddCustomer(n2, d2)
+	b.AddCustomer(x, c2)
+	b.AddCustomer(a1, c2).AddCustomer(a1, a2).AddCustomer(a2, d2)
+	b.AddCustomer(x, k)
+	b.AddCustomer(k, c1)
+	b.AddPeer(r, x)
+	b.AddCustomer(r, c1)
+	for _, cp := range []int32{c1, c2, k, r} {
+		b.MarkCP(cp)
+	}
+	b.SetWeight(c1, w1).SetWeight(c2, w2)
+	g := b.MustBuild()
+	return &Dilemma{
+		Graph: g,
+		X:     g.Index(x), Node2: g.Index(n2),
+		C1: g.Index(c1), C2: g.Index(c2),
+		W1: w1, W2: w2,
+	}
+}
+
+// BaseState returns the link state with every participant fully enabled
+// except X's side of the link to Node2 (the decision link) — and with
+// the permanently insecure parties (k, a1, a2) disabled, as the
+// construction requires.
+func (d *Dilemma) BaseState() *State {
+	g := d.Graph
+	st := NewState(g)
+	insecure := map[int32]bool{
+		g.Index(10): true, // k
+		g.Index(11): true, // a1
+		g.Index(12): true, // a2
+	}
+	for i := int32(0); i < int32(g.N()); i++ {
+		if !insecure[i] {
+			st.EnableAll(i)
+		}
+	}
+	st.Disable(d.X, d.Node2)
+	return st
+}

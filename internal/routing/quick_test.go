@@ -1,0 +1,149 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbgp/internal/asgraph/asgraphtest"
+)
+
+// The testing/quick properties treat a random seed as the generated
+// input: each seed deterministically expands into a random graph, a
+// random deployment state and a tiebreaker, so failures reproduce.
+
+// TestQuickTreeInvariants: every resolved tree on every destination
+// satisfies the full VerifyTree invariant set (valley-freedom, GR2,
+// length consistency, security soundness).
+func TestQuickTreeInvariants(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(18), 0.15, 0.1, 0.25)
+		sec, brk := asgraphtest.RandomState(rng, g.N(), 0.5, 0.7)
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		w := NewWorkspace(g)
+		var tree Tree
+		for d := int32(0); d < int32(g.N()); d++ {
+			s := w.ComputeStatic(d)
+			tree.Clear(g.N())
+			w.ResolveInto(&tree, s, sec, brk, nil, tb)
+			if err := VerifyTree(g, s, &tree, sec); err != nil {
+				t.Logf("seed %d dest %d: %v", seed, d, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlippedTreeInvariants: projected trees (single-node flips)
+// satisfy the same invariants under the flipped state.
+func TestQuickFlippedTreeInvariants(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(14), 0.15, 0.1, 0.25)
+		sec, brk := asgraphtest.RandomState(rng, g.N(), 0.5, 0.7)
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		w := NewWorkspace(g)
+		var tree Tree
+		flip := int32(rng.Intn(g.N()))
+		flipped := make([]bool, g.N())
+		flipped[flip] = true
+		flippedSec := append([]bool(nil), sec...)
+		flippedSec[flip] = !flippedSec[flip]
+		for d := int32(0); d < int32(g.N()); d++ {
+			s := w.ComputeStatic(d)
+			tree.Clear(g.N())
+			w.ResolveInto(&tree, s, sec, brk, flipped, tb)
+			if err := VerifyTree(g, s, &tree, flippedSec); err != nil {
+				t.Logf("seed %d dest %d flip %d: %v", seed, d, flip, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSecurityMonotone: adding secure ASes can never shrink the
+// set of nodes with fully-secure paths (security is monotone in the
+// deployment set for a fixed destination... note the *chosen* routes
+// may differ, but the secure-flag count is monotone because SecP always
+// finds a secure option if one is offered).
+func TestQuickSecurityMonotone(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(14), 0.15, 0.1, 0.25)
+		sec, _ := asgraphtest.RandomState(rng, g.N(), 0.4, 1)
+		brk := make([]bool, g.N())
+		for i := range brk {
+			brk[i] = true // everyone breaks ties
+		}
+		// Superset state: flip some insecure nodes on.
+		sec2 := append([]bool(nil), sec...)
+		for i := range sec2 {
+			if !sec2[i] && rng.Float64() < 0.5 {
+				sec2[i] = true
+			}
+		}
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		w := NewWorkspace(g)
+		var t1, t2 Tree
+		for d := int32(0); d < int32(g.N()); d++ {
+			s := w.ComputeStatic(d)
+			t1.Clear(g.N())
+			w.ResolveInto(&t1, s, sec, brk, nil, tb)
+			c1 := countSecure(&t1, s)
+			t2.Clear(g.N())
+			w.ResolveInto(&t2, s, sec2, brk, nil, tb)
+			c2 := countSecure(&t2, s)
+			if c2 < c1 {
+				t.Logf("seed %d dest %d: secure count dropped %d -> %d after adding deployers", seed, d, c1, c2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countSecure(t *Tree, s *Static) int {
+	n := 0
+	for _, i := range s.Order() {
+		if t.Secure[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuickTiebreakerTotalOrder: HashTiebreaker induces a strict total
+// order for every deciding node (irreflexive, antisymmetric,
+// transitive on triples).
+func TestQuickTiebreakerTotalOrder(t *testing.T) {
+	property := func(seed uint64, node, a, b, c int32) bool {
+		tb := HashTiebreaker{Seed: seed}
+		if a != b && tb.Less(node, a, b) == tb.Less(node, b, a) {
+			return false
+		}
+		if tb.Less(node, a, a) {
+			return false
+		}
+		// Transitivity on the sampled triple.
+		if a != b && b != c && a != c &&
+			tb.Less(node, a, b) && tb.Less(node, b, c) && !tb.Less(node, a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package routing
+
+// Tree is the routing tree toward one destination in one deployment
+// state: every reachable node's chosen next hop and whether its chosen
+// path is fully secure.
+type Tree struct {
+	Dest int32
+	// Parent[i] is node i's chosen next hop toward Dest; -1 for the
+	// destination itself and for unreachable nodes.
+	Parent []int32
+	// Secure[i] reports whether node i's chosen path to Dest is fully
+	// secure (every AS on the path, including i and Dest, is secure).
+	Secure []bool
+}
+
+// Clear resets the tree for a graph of n nodes: every parent becomes -1
+// and every secure flag false. ResolveInto only writes entries for the
+// destination and reachable nodes, so a tree must be cleared once when
+// switching destinations; repeat resolutions for the same destination
+// need no further clearing (unreachable entries are never written).
+func (t *Tree) Clear(n int) {
+	if len(t.Parent) < n {
+		t.Parent = make([]int32, n)
+		t.Secure = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		t.Parent[i] = -1
+		t.Secure[i] = false
+	}
+}
+
+// SecureState is the per-node security information Resolve needs:
+// which ASes have deployed S*BGP (including simplex stubs) and which of
+// them apply the SecP tie-break step when selecting routes (per Section
+// 6.7 stubs may run simplex S*BGP without breaking ties on security).
+type SecureState interface {
+	// Secure reports whether AS i has deployed S*BGP (full or simplex).
+	Secure(i int32) bool
+	// BreaksTies reports whether AS i prefers fully-secure paths among
+	// its equally-good routes. Implies nothing unless Secure(i).
+	BreaksTies(i int32) bool
+}
+
+// Resolve runs the paper's fast routing tree algorithm (Appendix C.2):
+// given the static per-destination information and a deployment state,
+// it determines every node's chosen next hop and secure-path flag by
+// processing nodes in ascending path length, in O(t·V) for average
+// tiebreak-set size t. The returned Tree is owned by the workspace and
+// invalidated by the next Resolve call on it; use ResolveInto for
+// allocation-free repeated resolution.
+func (w *Workspace) Resolve(s *Static, st SecureState, tb Tiebreaker) *Tree {
+	w.materialize(st)
+	w.tree.Clear(w.g.N())
+	w.ResolveInto(&w.tree, s, w.secScratch, w.brkScratch, nil, tb)
+	return &w.tree
+}
+
+// materialize copies a SecureState into the workspace's scratch slices
+// for the slice-based fast path.
+func (w *Workspace) materialize(st SecureState) {
+	n := w.g.N()
+	if w.secScratch == nil {
+		w.secScratch = make([]bool, n)
+		w.brkScratch = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		w.secScratch[i] = st.Secure(int32(i))
+		w.brkScratch[i] = st.BreaksTies(int32(i))
+	}
+}
+
+// ResolveInto is the allocation-free hot path of Resolve, writing into a
+// caller-owned tree. The deployment state is given as raw slices —
+// secure[i] for deployment, breaks[i] for SecP tie-breaking — plus an
+// optional flip bitmap (nil for none): nodes marked in it have their
+// deployment flag treated as inverted, which realizes the projected
+// state (¬S_n, S_-n) of the paper's update rule — including variants
+// that bundle an ISP's simplex stub upgrades into its action — without
+// copying the state. A node flipped ON breaks ties; one flipped OFF
+// does not.
+//
+// Only entries for the destination and reachable nodes are written: the
+// tree must have been Cleared when this destination was first resolved
+// into it.
+//
+// When the static info carries precomputed tiebreak winners
+// (PrepareDest), the state-independent TB step costs O(1) per node.
+func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipped []bool, tb Tiebreaker) {
+	t.Dest = s.Dest
+	if len(t.Parent) < w.g.N() {
+		t.Clear(w.g.N())
+	}
+	dSec := secure[s.Dest]
+	if flipped != nil && flipped[s.Dest] {
+		dSec = !dSec
+	}
+	t.Parent[s.Dest] = -1
+	t.Secure[s.Dest] = dSec
+
+	win := s.win
+	for _, i := range s.order {
+		cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
+		if len(cands) == 0 {
+			// Defensive: static construction guarantees non-empty
+			// tiebreak sets for reachable non-destination nodes.
+			continue
+		}
+		iSecure, iBreaks := secure[i], breaks[i]
+		if flipped != nil && flipped[i] {
+			iSecure = !iSecure
+			iBreaks = iSecure // flipped ON breaks ties; flipped OFF cannot
+		}
+		if iSecure && iBreaks {
+			// SecP: restrict to candidates offering fully-secure paths,
+			// if any exist. Tiebreak sets are overwhelmingly singletons
+			// (paper Fig. 10: mean 1.18), so that case is special-cased.
+			if len(cands) == 1 {
+				if b := cands[0]; t.Secure[b] {
+					t.Parent[i] = b
+					t.Secure[i] = true
+					continue
+				}
+			} else {
+				best := int32(-1)
+				for _, b := range cands {
+					if t.Secure[b] && (best == -1 || tb.Less(i, b, best)) {
+						best = b
+					}
+				}
+				if best >= 0 {
+					t.Parent[i] = best
+					t.Secure[i] = true
+					continue
+				}
+			}
+		}
+		// Plain tie-break among all candidates: state-independent, so use
+		// the precomputed winner when available.
+		var best int32
+		switch {
+		case win != nil:
+			best = win[i]
+		case len(cands) == 1:
+			best = cands[0]
+		default:
+			best = cands[0]
+			for _, b := range cands[1:] {
+				if tb.Less(i, b, best) {
+					best = b
+				}
+			}
+		}
+		t.Parent[i] = best
+		// Without SecP the path may still happen to be secure.
+		t.Secure[i] = iSecure && t.Secure[best]
+	}
+}
+
+// PathTo reconstructs node i's AS path to the tree's destination as a
+// sequence of node indices starting at i and ending at the destination.
+// It returns nil if i has no route.
+func (t *Tree) PathTo(i int32) []int32 {
+	if i != t.Dest && t.Parent[i] < 0 {
+		return nil
+	}
+	var path []int32
+	for {
+		path = append(path, i)
+		if i == t.Dest {
+			return path
+		}
+		i = t.Parent[i]
+		if len(path) > len(t.Parent) {
+			panic("routing: parent cycle in tree")
+		}
+	}
+}
+
+// Weights accumulates, for every node, the total traffic weight of the
+// subtree rooted at that node (the node's own weight plus everything that
+// routes through it), using the static ascending-length order in reverse.
+// The acc slice must have length N; it is overwritten.
+func (t *Tree) Weights(s *Static, nodeWeight []float64, acc []float64) {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for i := int32(0); i < int32(len(acc)); i++ {
+		if i == t.Dest || t.Parent[i] >= 0 {
+			acc[i] = nodeWeight[i]
+		}
+	}
+	order := s.Order()
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if p := t.Parent[i]; p >= 0 {
+			acc[p] += acc[i]
+		}
+	}
+}

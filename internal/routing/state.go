@@ -1,0 +1,53 @@
+package routing
+
+// BoolState is a simple slice-backed SecureState. Sec[i] reports whether
+// AS i deployed S*BGP; Brk[i] whether it applies the SecP tie-break.
+// The deployment simulator wraps its own state representation instead;
+// BoolState serves tests, gadgets and one-off analyses.
+type BoolState struct {
+	Sec []bool
+	Brk []bool
+}
+
+// NewBoolState returns an all-insecure state for n nodes.
+func NewBoolState(n int) *BoolState {
+	return &BoolState{Sec: make([]bool, n), Brk: make([]bool, n)}
+}
+
+// Secure implements SecureState.
+func (s *BoolState) Secure(i int32) bool { return s.Sec[i] }
+
+// BreaksTies implements SecureState.
+func (s *BoolState) BreaksTies(i int32) bool { return s.Brk[i] }
+
+// SetSecure marks i as deployed and tie-breaking on security.
+func (s *BoolState) SetSecure(i int32) {
+	s.Sec[i] = true
+	s.Brk[i] = true
+}
+
+// Flipped returns a view of s with node i's deployment flag inverted
+// (the projected state (¬S_i, S_-i) of the update rule). The view shares
+// the underlying slices of s; it must not outlive mutations of s.
+func (s *BoolState) Flipped(i int32) SecureState {
+	return flippedState{base: s, node: i}
+}
+
+type flippedState struct {
+	base *BoolState
+	node int32
+}
+
+func (f flippedState) Secure(i int32) bool {
+	if i == f.node {
+		return !f.base.Sec[i]
+	}
+	return f.base.Sec[i]
+}
+
+func (f flippedState) BreaksTies(i int32) bool {
+	if i == f.node {
+		return true
+	}
+	return f.base.Brk[i]
+}

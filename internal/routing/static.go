@@ -1,0 +1,311 @@
+// Package routing computes BGP routes over an AS graph under the standard
+// Gao-Rexford policy model used by the paper (Appendix A):
+//
+//	LP   prefer customer routes over peer routes over provider routes,
+//	SP   among those, prefer shortest,
+//	SecP if the deciding AS is secure, prefer fully-secure paths,
+//	TB   break remaining ties deterministically on the next hop.
+//
+// Export follows GR2: an AS announces a route to a neighbor only if the
+// neighbor or the route's next hop is its customer (so only customer
+// routes propagate to peers and providers; customers receive everything).
+//
+// The implementation follows the paper's Appendix C. Observation C.1
+// notes that the local-preference class and the path length of every
+// node's best route are independent of which ASes have deployed S*BGP, so
+// they are computed once per destination (Static, a three-stage BFS in
+// O(V+E)); the security-dependent choice among the equally-good next hops
+// (the "tiebreak set") is then resolved per deployment state by an O(t·V)
+// pass (Resolve, the paper's "fast routing tree algorithm").
+package routing
+
+import (
+	"sbgp/internal/asgraph"
+)
+
+// RouteType is the local-preference class of a node's best route.
+type RouteType uint8
+
+const (
+	// NoRoute means the destination is unreachable under GR policies.
+	NoRoute RouteType = iota
+	// SelfRoute marks the destination node itself.
+	SelfRoute
+	// CustomerRoute: the next hop is a customer.
+	CustomerRoute
+	// PeerRoute: the next hop is a peer.
+	PeerRoute
+	// ProviderRoute: the next hop is a provider.
+	ProviderRoute
+)
+
+// String returns a short name for the route type.
+func (t RouteType) String() string {
+	switch t {
+	case NoRoute:
+		return "none"
+	case SelfRoute:
+		return "self"
+	case CustomerRoute:
+		return "customer"
+	case PeerRoute:
+		return "peer"
+	case ProviderRoute:
+		return "provider"
+	default:
+		return "invalid"
+	}
+}
+
+// Static holds the state-independent routing information for one
+// destination (Observation C.1): every node's best-route class, length,
+// and tiebreak set (the equally-good next hops among which the security
+// criterion and the final tie-break choose).
+type Static struct {
+	Dest int32
+	// Type[i] is the local-preference class of node i's best route.
+	Type []RouteType
+	// Len[i] is the AS-path length (hops) of node i's best route;
+	// 0 for the destination, undefined when Type[i] == NoRoute.
+	Len []int32
+	// Tiebreak sets in CSR form: tbAdj[tbOff[i]:tbOff[i+1]] lists the
+	// next hops of node i's equally-good best routes. Every member b
+	// satisfies Len[b] == Len[i]-1.
+	tbOff []int32
+	tbAdj []int32
+	// order lists all reachable nodes except the destination in
+	// ascending Len, the processing order for Resolve.
+	order []int32
+	// win, when non-nil, holds the state-independent tiebreak winner of
+	// every reachable node's tiebreak set (filled by PrepareDest).
+	win []int32
+}
+
+// Tiebreak returns the tiebreak set of node i: the next hops of all of
+// i's equally-good best routes. The slice aliases internal storage.
+func (s *Static) Tiebreak(i int32) []int32 {
+	return s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
+}
+
+// Order returns all reachable nodes except the destination in ascending
+// best-route length. The slice aliases internal storage.
+func (s *Static) Order() []int32 { return s.order }
+
+// Workspace holds reusable scratch buffers so that per-destination
+// computations do not allocate. A Workspace may be used by one goroutine
+// at a time; create one per worker.
+type Workspace struct {
+	g *asgraph.Graph
+
+	static Static
+
+	// scratch for ComputeStatic
+	queue   []int32
+	buckets [][]int32
+
+	// scratch for Resolve
+	tree       Tree
+	secScratch []bool
+	brkScratch []bool
+	winBuf     []int32
+}
+
+// NewWorkspace returns a Workspace sized for graph g.
+func NewWorkspace(g *asgraph.Graph) *Workspace {
+	n := g.N()
+	w := &Workspace{g: g}
+	w.static = Static{
+		Type:  make([]RouteType, n),
+		Len:   make([]int32, n),
+		tbOff: make([]int32, n+1),
+		tbAdj: make([]int32, 0, 4*n),
+		order: make([]int32, 0, n),
+	}
+	w.queue = make([]int32, 0, n)
+	w.tree = Tree{
+		Parent: make([]int32, n),
+		Secure: make([]bool, n),
+	}
+	return w
+}
+
+// Graph returns the graph this workspace was created for.
+func (w *Workspace) Graph() *asgraph.Graph { return w.g }
+
+// ComputeStatic computes the state-independent routing information for
+// destination d (Observation C.1) with the three-stage BFS of [15]:
+// customer routes first (BFS from d along provider edges), then peer
+// routes (one peer hop onto a customer route), then provider routes
+// (ascending-length relaxation down customer edges). The returned Static
+// is owned by the workspace and is invalidated by the next call.
+func (w *Workspace) ComputeStatic(d int32) *Static {
+	g := w.g
+	n := int32(g.N())
+	s := &w.static
+	s.Dest = d
+	s.win = nil
+	for i := int32(0); i < n; i++ {
+		s.Type[i] = NoRoute
+		s.Len[i] = -1
+	}
+	s.Type[d] = SelfRoute
+	s.Len[d] = 0
+
+	// Stage 1: customer routes. A node i has a customer route iff there
+	// is a chain of provider edges from d up to i (each node on the chain
+	// is a customer of the next). BFS from d expanding along Providers().
+	q := w.queue[:0]
+	q = append(q, d)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, p := range g.Providers(u) {
+			if s.Type[p] == NoRoute {
+				s.Type[p] = CustomerRoute
+				s.Len[p] = s.Len[u] + 1
+				q = append(q, p)
+			}
+		}
+	}
+	w.queue = q[:0]
+
+	// Stage 2: peer routes. A node with no customer route may take one
+	// peering hop onto a neighbor's customer route (GR2 lets a node
+	// export customer routes to peers). The destination's peers get
+	// length-1 peer routes via dist_cust(d)=0.
+	maxLen := int32(0)
+	for i := int32(0); i < n; i++ {
+		if s.Type[i] == CustomerRoute && s.Len[i] > maxLen {
+			maxLen = s.Len[i]
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		if s.Type[i] != NoRoute {
+			continue
+		}
+		best := int32(-1)
+		for _, p := range g.Peers(i) {
+			if s.Type[p] == CustomerRoute || s.Type[p] == SelfRoute {
+				if best == -1 || s.Len[p] < best {
+					best = s.Len[p]
+				}
+			}
+		}
+		if best >= 0 {
+			s.Type[i] = PeerRoute
+			s.Len[i] = best + 1
+			if s.Len[i] > maxLen {
+				maxLen = s.Len[i]
+			}
+		}
+	}
+
+	// Stage 3: provider routes, by ascending total length. A node's
+	// provider exports its own best route of any class (GR2 allows
+	// everything to customers), so the candidate length via provider b is
+	// Len[b]+1. Process with a bucket queue over lengths: start from all
+	// settled nodes and relax their customers.
+	if int(maxLen)+1 > len(w.buckets) {
+		nb := make([][]int32, maxLen+2+n)
+		copy(nb, w.buckets)
+		w.buckets = nb
+	}
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	growBuckets := func(l int32) {
+		for int(l) >= len(w.buckets) {
+			w.buckets = append(w.buckets, nil)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		if s.Type[i] != NoRoute {
+			growBuckets(s.Len[i])
+			w.buckets[s.Len[i]] = append(w.buckets[s.Len[i]], i)
+		}
+	}
+	for l := int32(0); int(l) < len(w.buckets); l++ {
+		for _, b := range w.buckets[l] {
+			if s.Len[b] != l {
+				continue // stale entry superseded by a shorter route
+			}
+			for _, c := range g.Customers(b) {
+				nl := l + 1
+				if s.Type[c] == NoRoute || (s.Type[c] == ProviderRoute && nl < s.Len[c]) {
+					s.Type[c] = ProviderRoute
+					s.Len[c] = nl
+					growBuckets(nl)
+					w.buckets[nl] = append(w.buckets[nl], c)
+				}
+			}
+		}
+	}
+
+	// Tiebreak sets and processing order. Members of node i's tiebreak
+	// set are the next hops consistent with (Type[i], Len[i]).
+	s.tbAdj = s.tbAdj[:0]
+	s.order = s.order[:0]
+	// Rebuild buckets as the final ascending-length order.
+	for i := range w.buckets {
+		w.buckets[i] = w.buckets[i][:0]
+	}
+	for i := int32(0); i < n; i++ {
+		if i != d && s.Type[i] != NoRoute {
+			growBuckets(s.Len[i])
+			w.buckets[s.Len[i]] = append(w.buckets[s.Len[i]], i)
+		}
+	}
+	for l := 1; l < len(w.buckets); l++ {
+		s.order = append(s.order, w.buckets[l]...)
+	}
+
+	s.tbOff[0] = 0
+	for i := int32(0); i < n; i++ {
+		switch s.Type[i] {
+		case CustomerRoute:
+			for _, c := range g.Customers(i) {
+				if (s.Type[c] == CustomerRoute || s.Type[c] == SelfRoute) && s.Len[c] == s.Len[i]-1 {
+					s.tbAdj = append(s.tbAdj, c)
+				}
+			}
+		case PeerRoute:
+			for _, p := range g.Peers(i) {
+				if (s.Type[p] == CustomerRoute || s.Type[p] == SelfRoute) && s.Len[p] == s.Len[i]-1 {
+					s.tbAdj = append(s.tbAdj, p)
+				}
+			}
+		case ProviderRoute:
+			for _, p := range g.Providers(i) {
+				if s.Type[p] != NoRoute && s.Len[p] == s.Len[i]-1 {
+					s.tbAdj = append(s.tbAdj, p)
+				}
+			}
+		}
+		s.tbOff[i+1] = int32(len(s.tbAdj))
+	}
+	return s
+}
+
+// PrepareDest is ComputeStatic plus precomputation of every node's
+// state-independent tiebreak winner under tb (the next hop the plain TB
+// step would pick). Resolutions against the returned Static then cost
+// O(1) per node for the TB step, which matters when one destination is
+// resolved once per candidate ISP each round.
+func (w *Workspace) PrepareDest(d int32, tb Tiebreaker) *Static {
+	s := w.ComputeStatic(d)
+	if cap(w.winBuf) < len(s.Type) {
+		w.winBuf = make([]int32, len(s.Type))
+	}
+	w.winBuf = w.winBuf[:len(s.Type)]
+	for _, i := range s.order {
+		cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
+		best := cands[0]
+		for _, b := range cands[1:] {
+			if tb.Less(i, b, best) {
+				best = b
+			}
+		}
+		w.winBuf[i] = best
+	}
+	s.win = w.winBuf
+	return s
+}

@@ -1,0 +1,254 @@
+package routing
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+)
+
+// figure1 builds a small topology exercising all three route classes:
+//
+//	  T1 ---- T2          (Tier-1 peering)
+//	 /  \    /  \
+//	A    B  C    D        (A,B customers of T1; C,D of T2)
+//	|     \ |    |
+//	s1     s2    s3       (stubs; s2 multihomed to B and C)
+//
+// ASNs: T1=1 T2=2 A=3 B=4 C=5 D=6 s1=7 s2=8 s3=9.
+func figure1(t *testing.T) *asgraph.Graph {
+	t.Helper()
+	return asgraph.NewBuilder().
+		AddPeer(1, 2).
+		AddCustomer(1, 3).AddCustomer(1, 4).
+		AddCustomer(2, 5).AddCustomer(2, 6).
+		AddCustomer(3, 7).
+		AddCustomer(4, 8).AddCustomer(5, 8).
+		AddCustomer(6, 9).
+		MustBuild()
+}
+
+func idx(t *testing.T, g *asgraph.Graph, asn int32) int32 {
+	t.Helper()
+	i := g.Index(asn)
+	if i < 0 {
+		t.Fatalf("ASN %d not in graph", asn)
+	}
+	return i
+}
+
+func TestStaticClassesAndLengths(t *testing.T) {
+	g := figure1(t)
+	w := NewWorkspace(g)
+	d := idx(t, g, 8) // destination: multihomed stub s2
+	s := w.ComputeStatic(d)
+
+	cases := []struct {
+		asn  int32
+		typ  RouteType
+		ln   int32
+		tbSz int
+	}{
+		{8, SelfRoute, 0, 0},
+		{4, CustomerRoute, 1, 1}, // B -> s2
+		{5, CustomerRoute, 1, 1}, // C -> s2
+		{1, CustomerRoute, 2, 1}, // T1 -> B -> s2
+		{2, CustomerRoute, 2, 1}, // T2 -> C -> s2
+		{3, ProviderRoute, 3, 1}, // A -> T1 -> B -> s2
+		{6, ProviderRoute, 3, 1}, // D -> T2 -> C -> s2
+		{7, ProviderRoute, 4, 1}, // s1 -> A -> T1 -> B -> s2
+		{9, ProviderRoute, 4, 1}, // s3 -> D -> T2 -> C -> s2
+	}
+	for _, c := range cases {
+		i := idx(t, g, c.asn)
+		if s.Type[i] != c.typ {
+			t.Errorf("AS %d: type = %v, want %v", c.asn, s.Type[i], c.typ)
+		}
+		if s.Len[i] != c.ln {
+			t.Errorf("AS %d: len = %d, want %d", c.asn, s.Len[i], c.ln)
+		}
+		if got := len(s.Tiebreak(i)); got != c.tbSz {
+			t.Errorf("AS %d: |tiebreak| = %d, want %d", c.asn, got, c.tbSz)
+		}
+	}
+}
+
+func TestStaticPeerRoute(t *testing.T) {
+	// T1 peers with T2; destination is T2's stub customer. T1 has no
+	// customer route, so it must take the peer route through T2.
+	g := asgraph.NewBuilder().
+		AddPeer(1, 2).
+		AddCustomer(2, 5).
+		AddCustomer(1, 3).
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 5))
+	i1 := idx(t, g, 1)
+	if s.Type[i1] != PeerRoute || s.Len[i1] != 2 {
+		t.Errorf("T1: (%v,%d), want (peer,2)", s.Type[i1], s.Len[i1])
+	}
+	// T1's customer AS 3 reaches via provider route of length 3.
+	i3 := idx(t, g, 3)
+	if s.Type[i3] != ProviderRoute || s.Len[i3] != 3 {
+		t.Errorf("AS3: (%v,%d), want (provider,3)", s.Type[i3], s.Len[i3])
+	}
+}
+
+func TestStaticLocalPrefBeatsLength(t *testing.T) {
+	// Node 10 has a 3-hop customer route and a 1-hop peer "shortcut" to
+	// the destination; LP must make it use the longer customer route.
+	g := asgraph.NewBuilder().
+		AddCustomer(10, 11).
+		AddCustomer(11, 12).
+		AddCustomer(12, 13).
+		AddPeer(10, 13).
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 13))
+	i := idx(t, g, 10)
+	if s.Type[i] != CustomerRoute || s.Len[i] != 3 {
+		t.Errorf("AS10: (%v,%d), want (customer,3)", s.Type[i], s.Len[i])
+	}
+}
+
+func TestStaticPeerBeatsProvider(t *testing.T) {
+	// Node 10 can reach d via a long peer path or a short provider path;
+	// LP must choose the peer route.
+	g := asgraph.NewBuilder().
+		AddPeer(10, 11).
+		AddCustomer(11, 12).
+		AddCustomer(12, 13).
+		AddCustomer(13, 14). // 14 = d; peer path 10-11-12-13-14 len 4
+		AddCustomer(15, 10). // 15 is 10's provider
+		AddCustomer(15, 14). // provider path 10-15-14 len 2
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 14))
+	i := idx(t, g, 10)
+	if s.Type[i] != PeerRoute || s.Len[i] != 4 {
+		t.Errorf("AS10: (%v,%d), want (peer,4)", s.Type[i], s.Len[i])
+	}
+}
+
+func TestStaticUnreachable(t *testing.T) {
+	// Valley: two stubs under different providers with no common
+	// transit; s2 cannot reach s1's island at all.
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 2).
+		AddCustomer(3, 4).
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 2))
+	for _, asn := range []int32{3, 4} {
+		i := idx(t, g, asn)
+		if s.Type[i] != NoRoute {
+			t.Errorf("AS %d: type = %v, want none", asn, s.Type[i])
+		}
+	}
+}
+
+func TestStaticValleyFree(t *testing.T) {
+	// Classic valley: d is a customer of P1; X is a customer of both P1
+	// and P2; a path P2 <- X <- P1 -> d would be a valley (X exporting a
+	// provider route to a provider) and must not exist. P2 reaches d only
+	// if some valley-free path exists; here there is none.
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 5). // P1 -> d
+		AddCustomer(1, 3). // P1 -> X
+		AddCustomer(2, 3). // P2 -> X
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 5))
+	i2 := idx(t, g, 2)
+	if s.Type[i2] != NoRoute {
+		t.Errorf("P2 reached d through a valley: type=%v len=%d", s.Type[i2], s.Len[i2])
+	}
+	// X itself reaches d via its provider P1.
+	i3 := idx(t, g, 3)
+	if s.Type[i3] != ProviderRoute || s.Len[i3] != 2 {
+		t.Errorf("X: (%v,%d), want (provider,2)", s.Type[i3], s.Len[i3])
+	}
+}
+
+func TestStaticTiebreakSetMultipath(t *testing.T) {
+	// Multihomed stub d with two providers A and B, both customers of
+	// T. T has two equally-good customer routes: tiebreak set {A, B}.
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 2).AddCustomer(1, 3). // T -> A, T -> B
+		AddCustomer(2, 4).AddCustomer(3, 4). // A -> d, B -> d
+		MustBuild()
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 4))
+	iT := idx(t, g, 1)
+	tb := s.Tiebreak(iT)
+	if len(tb) != 2 {
+		t.Fatalf("|tiebreak(T)| = %d, want 2", len(tb))
+	}
+}
+
+func TestStaticOrderAscending(t *testing.T) {
+	g := figure1(t)
+	w := NewWorkspace(g)
+	s := w.ComputeStatic(idx(t, g, 8))
+	prev := int32(0)
+	for _, i := range s.Order() {
+		if s.Len[i] < prev {
+			t.Fatalf("order not ascending: len %d after %d", s.Len[i], prev)
+		}
+		prev = s.Len[i]
+	}
+	// Order contains exactly the reachable nodes minus the destination.
+	reach := 0
+	for i := int32(0); i < int32(g.N()); i++ {
+		if s.Type[i] != NoRoute && s.Type[i] != SelfRoute {
+			reach++
+		}
+	}
+	if len(s.Order()) != reach {
+		t.Errorf("|order| = %d, want %d", len(s.Order()), reach)
+	}
+}
+
+func TestStaticTiebreakMembersOneHopCloser(t *testing.T) {
+	g := figure1(t)
+	w := NewWorkspace(g)
+	for d := int32(0); d < int32(g.N()); d++ {
+		s := w.ComputeStatic(d)
+		for _, i := range s.Order() {
+			for _, b := range s.Tiebreak(i) {
+				if s.Len[b] != s.Len[i]-1 {
+					t.Fatalf("dest %d: node %d len %d has tiebreak member %d len %d",
+						g.ASN(d), g.ASN(i), s.Len[i], g.ASN(b), s.Len[b])
+				}
+			}
+			if len(s.Tiebreak(i)) == 0 {
+				t.Fatalf("dest %d: reachable node %d has empty tiebreak set", g.ASN(d), g.ASN(i))
+			}
+		}
+	}
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	g := figure1(t)
+	w := NewWorkspace(g)
+	s1 := w.ComputeStatic(idx(t, g, 8))
+	l1 := append([]int32(nil), s1.Len...)
+	w.ComputeStatic(idx(t, g, 7))
+	s3 := w.ComputeStatic(idx(t, g, 8))
+	for i := range l1 {
+		if s3.Len[i] != l1[i] {
+			t.Fatalf("workspace reuse changed result at node %d: %d vs %d", i, s3.Len[i], l1[i])
+		}
+	}
+}
+
+func TestRouteTypeString(t *testing.T) {
+	want := map[RouteType]string{
+		NoRoute: "none", SelfRoute: "self", CustomerRoute: "customer",
+		PeerRoute: "peer", ProviderRoute: "provider", RouteType(99): "invalid",
+	}
+	for k, v := range want {
+		if k.String() != v {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), v)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package routing
+
+// Tiebreaker is the final TB step of route selection (Appendix A): given
+// the deciding node and two candidate next hops, it reports whether a is
+// strictly preferred over b. Implementations must induce a strict total
+// order over candidates for a fixed deciding node, so route selection is
+// deterministic.
+type Tiebreaker interface {
+	Less(node, a, b int32) bool
+}
+
+// HashTiebreaker implements the paper's TB rule: choose the next hop b
+// minimizing a deterministic hash H(node, b). Different seeds give
+// different (but fixed) intradomain preferences, modeling geographic or
+// router-ID tie-breaking.
+type HashTiebreaker struct {
+	Seed uint64
+}
+
+// Less reports whether candidate a hashes below candidate b for node.
+// Hash ties (vanishingly rare) fall back to the lower node index so the
+// order stays total.
+func (h HashTiebreaker) Less(node, a, b int32) bool {
+	ha := mix(h.Seed, node, a)
+	hb := mix(h.Seed, node, b)
+	if ha != hb {
+		return ha < hb
+	}
+	return a < b
+}
+
+// mix is a splitmix64-style avalanche over (seed, node, cand).
+func mix(seed uint64, node, cand int32) uint64 {
+	x := seed ^ (uint64(uint32(node)) << 32) ^ uint64(uint32(cand))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// LowestIndex breaks ties toward the lowest node index. Because builders
+// assign indices in ascending ASN order, this equals the "lowest AS
+// number" rule the paper's appendix gadgets assume.
+type LowestIndex struct{}
+
+// Less reports whether a < b.
+func (LowestIndex) Less(node, a, b int32) bool { return a < b }
+
+// PreferenceOrder breaks ties according to an explicit per-node ranking:
+// Rank[node][cand] (lower is better), falling back to lowest index for
+// unranked candidates. It is used to reconstruct the appendix gadgets
+// whose proofs fix particular tie-break outcomes.
+type PreferenceOrder struct {
+	Rank map[int32]map[int32]int
+}
+
+// Less compares candidates by explicit rank, then by index.
+func (p PreferenceOrder) Less(node, a, b int32) bool {
+	ranks := p.Rank[node]
+	ra, oka := ranks[a]
+	rb, okb := ranks[b]
+	switch {
+	case oka && okb:
+		if ra != rb {
+			return ra < rb
+		}
+	case oka:
+		return true
+	case okb:
+		return false
+	}
+	return a < b
+}

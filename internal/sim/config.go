@@ -1,0 +1,139 @@
+// Package sim implements the S*BGP deployment game of Gill, Schapira and
+// Goldberg (SIGCOMM 2011, Section 3): an infinite-round process in which
+// every ISP plays myopic best response — it deploys (or, under the
+// incoming-utility model, possibly disables) S*BGP whenever doing so
+// would raise its utility by more than a threshold factor θ, where
+// utility is the volume of revenue-generating customer traffic the ISP
+// transits. Newly secure ISPs upgrade all their stub customers to
+// simplex S*BGP; content providers are secure only if they are early
+// adopters. The process stops at a stable state, or reports an
+// oscillation (which Theorem 7.1 shows can occur under incoming
+// utility).
+//
+// The engine follows Appendix C: per destination it computes the
+// state-independent routing information once, resolves the routing tree
+// for the current state and for every candidate ISP's projected state
+// (skipping candidates that provably cannot change the tree, per C.4),
+// and parallelizes across destinations with a worker pool — the same
+// map/reduce decomposition the paper ran on a 200-node DryadLINQ
+// cluster.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+
+	"sbgp/internal/routing"
+)
+
+// UtilityModel selects which of the paper's two ISP utility functions
+// drives deployment decisions (Section 3.3).
+type UtilityModel uint8
+
+const (
+	// Outgoing utility (Eq. 1): traffic an ISP forwards toward
+	// destinations it reaches via customer edges. Under this model a
+	// secure ISP never wants to disable S*BGP (Theorem 6.2), so every
+	// simulation terminates.
+	Outgoing UtilityModel = iota
+	// Incoming utility (Eq. 2): traffic an ISP receives over customer
+	// edges, summed over all destinations. Under this model ISPs can
+	// have incentives to disable S*BGP (Section 7.1) and the process may
+	// oscillate (Theorem 7.1).
+	Incoming
+)
+
+// String names the model.
+func (m UtilityModel) String() string {
+	switch m {
+	case Outgoing:
+		return "outgoing"
+	case Incoming:
+		return "incoming"
+	default:
+		return fmt.Sprintf("model(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a deployment simulation.
+type Config struct {
+	// Model is the ISP utility model. Default Outgoing.
+	Model UtilityModel
+
+	// Theta is the deployment threshold θ of update rule (3): an ISP
+	// changes its action only if its projected utility exceeds
+	// (1+θ)× its current utility. θ=0.05 models deployment costs worth
+	// 5% of transit profit.
+	Theta float64
+
+	// EarlyAdopters are the node indices seeded secure at round 0
+	// (Section 2.3). Stub customers of early-adopter ISPs start with
+	// simplex S*BGP.
+	EarlyAdopters []int32
+
+	// StubsBreakTies selects whether stubs running simplex S*BGP apply
+	// the SecP tie-break (Section 6.7 studies both settings). ISPs and
+	// CPs always break ties once secure.
+	StubsBreakTies bool
+
+	// Tiebreaker is the final TB step; nil defaults to
+	// routing.HashTiebreaker{} (the paper's hash rule) with Seed 0.
+	Tiebreaker routing.Tiebreaker
+
+	// Workers caps the destination-parallel worker pool; 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	// MaxRounds bounds the simulation; 0 means 250. The paper's runs
+	// stabilized within 2-40 rounds; the cap exists because the
+	// incoming-utility model may oscillate forever.
+	MaxRounds int
+
+	// ThetaJitter models heterogeneous deployment costs and noisy
+	// utility estimation (Section 8.2 suggests "randomizing θ"): each
+	// ISP i draws its own threshold θ_i uniformly from
+	// [Theta·(1-ThetaJitter), Theta·(1+ThetaJitter)], deterministically
+	// from ThetaSeed. Zero means every ISP uses Theta exactly.
+	ThetaJitter float64
+	// ThetaSeed seeds the per-ISP threshold draw.
+	ThetaSeed int64
+
+	// ThetaByNode, when non-nil, gives every node an explicit threshold
+	// (indexed by node id), overriding Theta and ThetaJitter for the
+	// nodes it covers (NaN entries fall back to the global rule).
+	ThetaByNode []float64
+
+	// ProjectStubUpgrades changes the projection semantics of update
+	// rule (3): when an ISP evaluates deploying, its insecure stub
+	// customers are treated as simplex-upgraded in the projected state
+	// (the deployment *action* bundles the stub upgrades, as in the
+	// Appendix E reduction). The paper's Appendix C.4 optimizations
+	// imply the default (false): only the ISP itself flips, and its
+	// stubs upgrade after the fact.
+	ProjectStubUpgrades bool
+
+	// RecordUtilities, when true, stores every ISP's utility and
+	// projected utility for every round in the Result (needed for the
+	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.
+	RecordUtilities bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tiebreaker == nil {
+		c.Tiebreaker = routing.HashTiebreaker{}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 250
+	}
+	return c
+}
+
+// decisionEpsilon guards the strict inequality of update rule (3)
+// against floating-point noise: utilities are sums of up to N float64
+// terms, so two mathematically equal sums may differ by rounding.
+func decisionEpsilon(base float64) float64 {
+	return 1e-9 + 1e-12*base
+}

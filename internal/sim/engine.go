@@ -1,0 +1,490 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+)
+
+// Sim runs the S*BGP deployment game over one graph.
+type Sim struct {
+	g     *asgraph.Graph
+	cfg   Config
+	theta []float64 // per-node deployment threshold
+}
+
+// New validates the configuration against the graph and returns a
+// simulation ready to Run.
+func New(g *asgraph.Graph, cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Theta < 0 {
+		return nil, fmt.Errorf("sim: negative threshold θ=%v", cfg.Theta)
+	}
+	if cfg.ThetaJitter < 0 || cfg.ThetaJitter > 1 {
+		return nil, fmt.Errorf("sim: threshold jitter %v outside [0,1]", cfg.ThetaJitter)
+	}
+	if cfg.ThetaByNode != nil && len(cfg.ThetaByNode) != g.N() {
+		return nil, fmt.Errorf("sim: ThetaByNode has %d entries for %d ASes", len(cfg.ThetaByNode), g.N())
+	}
+	for _, a := range cfg.EarlyAdopters {
+		if a < 0 || int(a) >= g.N() {
+			return nil, fmt.Errorf("sim: early adopter index %d out of range [0,%d)", a, g.N())
+		}
+	}
+	s := &Sim{g: g, cfg: cfg}
+	s.theta = s.nodeThetas()
+	return s, nil
+}
+
+// nodeThetas resolves every node's deployment threshold per the
+// Theta/ThetaJitter/ThetaByNode configuration.
+func (s *Sim) nodeThetas() []float64 {
+	n := s.g.N()
+	out := make([]float64, n)
+	rng := rand.New(rand.NewSource(s.cfg.ThetaSeed))
+	for i := 0; i < n; i++ {
+		th := s.cfg.Theta
+		if j := s.cfg.ThetaJitter; j > 0 {
+			th = s.cfg.Theta * (1 + j*(2*rng.Float64()-1))
+		}
+		if s.cfg.ThetaByNode != nil && !math.IsNaN(s.cfg.ThetaByNode[i]) {
+			th = s.cfg.ThetaByNode[i]
+		}
+		if th < 0 {
+			th = 0
+		}
+		out[i] = th
+	}
+	return out
+}
+
+// MustNew is New that panics on error.
+func MustNew(g *asgraph.Graph, cfg Config) *Sim {
+	s, err := New(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes the deployment process until it reaches a stable state,
+// revisits a previous state (oscillation), or hits the round cap.
+func (s *Sim) Run() *Result {
+	g, cfg := s.g, s.cfg
+	n := g.N()
+
+	res := &Result{
+		ISPs:         g.Nodes(asgraph.ISP),
+		FinalSecure:  make([]bool, n),
+		PristineUtil: make([]float64, n),
+	}
+
+	// Starting utilities: the all-insecure world before any deployment,
+	// the baseline the paper normalizes utility trajectories by.
+	pristine := newDeployState(n)
+	prBase, _ := s.computeRound(pristine, nil)
+	for i := range res.PristineUtil {
+		if g.IsISP(int32(i)) {
+			res.PristineUtil[i] = prBase[i]
+		} else {
+			res.PristineUtil[i] = math.NaN()
+		}
+	}
+
+	// Initial state: early adopters secure; stub customers of early
+	// adopter ISPs run simplex S*BGP (Section 3.2).
+	st := newDeployState(n)
+	for _, a := range cfg.EarlyAdopters {
+		st.set(g, a, cfg.StubsBreakTies)
+	}
+	for _, a := range cfg.EarlyAdopters {
+		if g.IsISP(a) {
+			for _, c := range g.Customers(a) {
+				if g.IsStub(c) {
+					st.set(g, c, cfg.StubsBreakTies)
+				}
+			}
+		}
+	}
+	res.Initial = countSecure(g, st.secure)
+
+	// State history for oscillation detection.
+	seen := map[uint64][]int{}
+	snaps := [][]uint64{}
+	record := func(snap []uint64) (round int, repeat bool) {
+		h := hashSnapshot(snap)
+		for _, r := range seen[h] {
+			if snapshotsEqual(snaps[r], snap) {
+				return r, true
+			}
+		}
+		seen[h] = append(seen[h], len(snaps))
+		snaps = append(snaps, snap)
+		return len(snaps) - 1, false
+	}
+	record(st.snapshot())
+
+	for round := 0; round < cfg.MaxRounds; round++ {
+		candidates := s.candidates(st)
+		uBase, uProj := s.computeRound(st, candidates)
+
+		var rd Round
+		if cfg.RecordUtilities {
+			rd.UtilBase = make([]float64, n)
+			rd.UtilProj = make([]float64, n)
+			for i := 0; i < n; i++ {
+				if g.IsISP(int32(i)) {
+					rd.UtilBase[i] = uBase[i]
+				} else {
+					rd.UtilBase[i] = math.NaN()
+				}
+				if candidates[i] {
+					rd.UtilProj[i] = uProj[i]
+				} else {
+					rd.UtilProj[i] = math.NaN()
+				}
+			}
+		}
+
+		// Myopic best response (update rule 3): flip iff projected
+		// utility clears the threshold.
+		for i := 0; i < n; i++ {
+			if !candidates[i] {
+				continue
+			}
+			if uProj[i] > (1+s.theta[i])*uBase[i]+decisionEpsilon(uBase[i]) {
+				if st.secure[i] {
+					rd.Disabled = append(rd.Disabled, int32(i))
+				} else {
+					rd.Deployed = append(rd.Deployed, int32(i))
+				}
+			}
+		}
+
+		if len(rd.Deployed) == 0 && len(rd.Disabled) == 0 {
+			// Quiescent round: record it (its utilities are the final
+			// ones, used by the trajectory figures) and stop.
+			rd.After = countSecure(g, st.secure)
+			res.Rounds = append(res.Rounds, rd)
+			res.Stable = true
+			break
+		}
+
+		for _, i := range rd.Deployed {
+			st.set(g, i, cfg.StubsBreakTies)
+		}
+		for _, i := range rd.Disabled {
+			st.unset(i)
+		}
+		// Newly secure ISPs upgrade their stub customers to simplex
+		// S*BGP (Section 2.3). Stubs stay secure once upgraded: simplex
+		// deployment is a one-time (often offline) step that a provider
+		// disabling its own S*BGP does not undo.
+		for _, i := range rd.Deployed {
+			for _, c := range g.Customers(i) {
+				if g.IsStub(c) && !st.secure[c] {
+					st.set(g, c, cfg.StubsBreakTies)
+					rd.NewSimplexStubs = append(rd.NewSimplexStubs, c)
+				}
+			}
+		}
+
+		rd.After = countSecure(g, st.secure)
+		res.Rounds = append(res.Rounds, rd)
+
+		if first, repeat := record(st.snapshot()); repeat {
+			res.Oscillated = true
+			res.CycleStart = first
+			res.CycleLen = len(snaps) - first
+			break
+		}
+	}
+
+	copy(res.FinalSecure, st.secure)
+	res.Final = countSecure(g, st.secure)
+	return res
+}
+
+// candidates returns which nodes may flip this round: insecure ISPs
+// always; secure ISPs only under incoming utility (Theorem 6.2 rules out
+// turn-off incentives under outgoing utility).
+func (s *Sim) candidates(st *deployState) []bool {
+	g := s.g
+	out := make([]bool, g.N())
+	for i := int32(0); i < int32(g.N()); i++ {
+		if !g.IsISP(i) {
+			continue
+		}
+		if !st.secure[i] || s.cfg.Model == Incoming {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// computeRound computes every ISP's utility in state st, and — for nodes
+// marked in candidates — the projected utility in the state where that
+// node alone flips. candidates may be nil (base utilities only).
+//
+// This is the paper's per-round computation (Appendix C): parallelized
+// across destinations, one static computation per destination, one
+// resolution for the base state, and one resolution per surviving
+// candidate after the C.4 skip rules.
+func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []float64) {
+	g, cfg := s.g, s.cfg
+	n := g.N()
+	uBase = make([]float64, n)
+	uProj = make([]float64, n)
+
+	var candList []int32
+	if candidates != nil {
+		for i := int32(0); i < int32(n); i++ {
+			if candidates[i] {
+				candList = append(candList, i)
+			}
+		}
+	}
+
+	nw := cfg.Workers
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	weights := make([]float64, n)
+	for i := int32(0); i < int32(n); i++ {
+		weights[i] = g.Weight(i)
+	}
+
+	// Destinations are striped statically (worker w handles d ≡ w mod nw)
+	// and the per-worker partial sums are merged in worker order, so the
+	// floating-point summation order — and therefore every simulation
+	// outcome — is deterministic for a fixed Config.Workers.
+	workers := make([]*worker, nw)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			wk := newWorker(g, n)
+			workers[w] = wk
+			for d := int32(w); int(d) < n; d += int32(nw) {
+				wk.processDest(d, st, candList, cfg, weights)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, wk := range workers {
+		for i := 0; i < n; i++ {
+			uBase[i] += wk.uBase[i]
+			uProj[i] += wk.uDelta[i]
+		}
+	}
+
+	// uProj currently holds only deltas; add the base.
+	for i := 0; i < n; i++ {
+		uProj[i] += uBase[i]
+	}
+	return uBase, uProj
+}
+
+// worker holds all per-goroutine scratch state so that destination
+// processing allocates nothing.
+type worker struct {
+	ws          *routing.Workspace
+	baseTree    routing.Tree
+	projTree    routing.Tree
+	accBase     []float64
+	incBase     []float64
+	accProj     []float64
+	incProj     []float64
+	uBase       []float64
+	uDelta      []float64
+	flipMark    []bool
+	flipScratch []int32
+}
+
+func newWorker(g *asgraph.Graph, n int) *worker {
+	return &worker{
+		ws:       routing.NewWorkspace(g),
+		accBase:  make([]float64, n),
+		incBase:  make([]float64, n),
+		accProj:  make([]float64, n),
+		incProj:  make([]float64, n),
+		uBase:    make([]float64, n),
+		uDelta:   make([]float64, n),
+		flipMark: make([]bool, n),
+	}
+}
+
+// processDest handles one destination: base utilities for every ISP and
+// projected deltas for the candidates that survive the skip rules.
+func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Config, weights []float64) {
+	g := wk.ws.Graph()
+	stc := wk.ws.PrepareDest(d, cfg.Tiebreaker)
+	wk.baseTree.Clear(g.N())
+	wk.projTree.Clear(g.N())
+	wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, cfg.Tiebreaker)
+	accumulate(stc, &wk.baseTree, weights, wk.accBase, wk.incBase)
+
+	// Base utility contributions.
+	for i := int32(0); i < int32(g.N()); i++ {
+		if !g.IsISP(i) {
+			continue
+		}
+		wk.uBase[i] += wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
+	}
+
+	if len(candList) == 0 {
+		return
+	}
+
+	// anySecurePath: does anyone other than d have a fully secure path?
+	anySecurePath := false
+	for _, i := range stc.Order() {
+		if wk.baseTree.Secure[i] {
+			anySecurePath = true
+			break
+		}
+	}
+
+	for _, c := range candList {
+		flips := wk.flipSetFor(st, cfg, c)
+		if !wk.flipCanChangeTree(stc, st, cfg, c, d, flips, anySecurePath) {
+			wk.clearFlips(flips)
+			continue
+		}
+		wk.ws.ResolveInto(&wk.projTree, stc, st.secure, st.breaks, wk.flipMark, cfg.Tiebreaker)
+		wk.clearFlips(flips)
+		accumulate(stc, &wk.projTree, weights, wk.accProj, wk.incProj)
+		projC := wk.contribution(cfg.Model, stc, wk.accProj, wk.incProj, weights, c)
+		baseC := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
+		wk.uDelta[c] += projC - baseC
+	}
+}
+
+// flipSetFor marks candidate c's projected flip set in wk.flipMark and
+// returns the marked nodes: c itself, plus — under ProjectStubUpgrades,
+// when c is deploying — c's insecure stub customers.
+func (wk *worker) flipSetFor(st *deployState, cfg Config, c int32) []int32 {
+	g := wk.ws.Graph()
+	wk.flipScratch = wk.flipScratch[:0]
+	wk.flipScratch = append(wk.flipScratch, c)
+	wk.flipMark[c] = true
+	if cfg.ProjectStubUpgrades && !st.secure[c] {
+		for _, s := range g.Customers(c) {
+			if g.IsStub(s) && !st.secure[s] {
+				wk.flipScratch = append(wk.flipScratch, s)
+				wk.flipMark[s] = true
+			}
+		}
+	}
+	return wk.flipScratch
+}
+
+// clearFlips unmarks a flip set.
+func (wk *worker) clearFlips(flips []int32) {
+	for _, i := range flips {
+		wk.flipMark[i] = false
+	}
+}
+
+// flipCanChangeTree implements the Appendix C.4 skip rules: it reports
+// whether flipping candidate c (with projected flip set flips) could
+// possibly alter the routing tree for destination d, given the base tree
+// already resolved in wk.baseTree.
+func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Config, c, d int32, flips []int32, anySecurePath bool) bool {
+	if wk.flipMark[d] {
+		// The destination itself flips (c == d, or d is one of c's stubs
+		// under ProjectStubUpgrades): whether any path to d can be
+		// secure changes.
+		if st.secure[d] {
+			return anySecurePath
+		}
+		return true
+	}
+	if !st.secure[d] {
+		// Insecure destination that stays insecure: no path to d is ever
+		// secure, and flipping cannot change that. (C.4 rule 1.)
+		return false
+	}
+	if st.secure[c] {
+		// Turning c off matters only if c currently has a fully secure
+		// path (then c's own choice, or paths through c, may change).
+		return wk.baseTree.Secure[c]
+	}
+	// Turning c on matters only if c could then offer a secure path,
+	// i.e. some member of its tiebreak set has one (C.4 rule 3) — or,
+	// under ProjectStubUpgrades with tie-breaking stubs, if one of the
+	// newly simplex stubs could reroute onto a secure path.
+	if stc.Type[c] != routing.NoRoute {
+		for _, b := range stc.Tiebreak(c) {
+			if wk.baseTree.Secure[b] {
+				return true
+			}
+		}
+	}
+	if cfg.ProjectStubUpgrades && cfg.StubsBreakTies {
+		for _, s := range flips[1:] {
+			if stc.Type[s] == routing.NoRoute {
+				continue
+			}
+			for _, b := range stc.Tiebreak(s) {
+				if wk.baseTree.Secure[b] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// contribution returns node i's utility contribution for the current
+// destination under the chosen model: outgoing (Eq. 1) counts the whole
+// subtree routing through i when i's next hop is a customer; incoming
+// (Eq. 2) counts the weight entering i over customer edges.
+func (wk *worker) contribution(model UtilityModel, stc *routing.Static, acc, inc, weights []float64, i int32) float64 {
+	if model == Outgoing {
+		if stc.Type[i] == routing.CustomerRoute {
+			return acc[i] - weights[i]
+		}
+		return 0
+	}
+	if stc.Type[i] == routing.NoRoute {
+		return 0 // unreachable: inc[i] may hold a stale value
+	}
+	return inc[i]
+}
+
+// accumulate fills acc[i] with the total weight of the subtree rooted at
+// i in tree t (node i's own weight plus everything routing through it),
+// and inc[i] with the weight arriving at i over customer edges (the sum
+// of subtree weights of children whose route class is provider — a child
+// using a provider route enters its parent over the parent's customer
+// edge).
+// Only entries for the destination and reachable nodes are written;
+// consumers must treat unreachable nodes' entries as unspecified
+// (contribution returns 0 for them without reading the arrays).
+func accumulate(s *routing.Static, t *routing.Tree, weights []float64, acc, inc []float64) {
+	acc[t.Dest] = weights[t.Dest]
+	inc[t.Dest] = 0
+	order := s.Order()
+	for _, i := range order {
+		acc[i] = weights[i]
+		inc[i] = 0
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		p := t.Parent[i]
+		acc[p] += acc[i]
+		if s.Type[i] == routing.ProviderRoute {
+			inc[p] += acc[i]
+		}
+	}
+}

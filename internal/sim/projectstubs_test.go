@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+)
+
+// TestProjectStubUpgradesBootstrap: with only the traffic source T as
+// early adopter, the diamond's stub is insecure, so under the paper's
+// flip-only projection (Appendix C.4) no ISP ever sees a gain and
+// deployment stalls. Bundling the stub upgrade into the action
+// (ProjectStubUpgrades) lets A project the fully secure path T-A-s and
+// bootstrap deployment.
+func TestProjectStubUpgradesBootstrap(t *testing.T) {
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 2).AddCustomer(1, 3).
+		AddCustomer(2, 4).AddCustomer(3, 4).
+		SetWeight(1, 10).
+		MustBuild()
+	iT, iA, iS := g.Index(1), g.Index(2), g.Index(4)
+
+	base := Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  []int32{iT},
+		StubsBreakTies: true,
+		Tiebreaker:     routing.LowestIndex{},
+	}
+
+	resOff := MustNew(g, base).Run()
+	if resOff.Final.SecureISPs != 1 { // only T
+		t.Errorf("flip-only projection: secure ISPs = %d, want 1 (stalled)", resOff.Final.SecureISPs)
+	}
+
+	on := base
+	on.ProjectStubUpgrades = true
+	resOn := MustNew(g, on).Run()
+	if !resOn.FinalSecure[iA] {
+		t.Error("with ProjectStubUpgrades, A should bootstrap deployment")
+	}
+	if !resOn.FinalSecure[iS] {
+		t.Error("A's stub should be simplex-secured after A deploys")
+	}
+}
+
+// TestProjectStubUpgradesProjectionConsistent: the skip rules under the
+// bundled-flip semantics must match a brute-force evaluation of the
+// bundled state.
+func TestProjectStubUpgradesProjectionConsistent(t *testing.T) {
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 2).AddCustomer(1, 3).
+		AddCustomer(2, 4).AddCustomer(3, 4).
+		AddCustomer(2, 6).AddCustomer(3, 7).
+		SetWeight(1, 10).
+		MustBuild()
+	cfg := Config{
+		Model:               Outgoing,
+		StubsBreakTies:      true,
+		ProjectStubUpgrades: true,
+		Tiebreaker:          routing.LowestIndex{},
+	}
+	secure := make([]bool, g.N())
+	secure[g.Index(1)] = true
+
+	for _, asn := range []int32{2, 3} {
+		n := g.Index(asn)
+		_, proj, err := EvaluateFlip(g, secure, cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: flip n and its stubs, evaluate utility.
+		flipped := append([]bool(nil), secure...)
+		flipped[n] = true
+		for _, c := range g.Customers(n) {
+			if g.IsStub(c) {
+				flipped[c] = true
+			}
+		}
+		u, err := Utilities(g, flipped, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := u[n] - proj; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("AS %d: projection %v != brute force %v", asn, proj, u[n])
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package topogen generates synthetic Internet-like AS topologies for
+// the deployment simulations.
+//
+// The paper ran on the empirical Cyclops AS graph (Dec 2010, ~36K ASes)
+// augmented with IXP peering edges. That data set is not redistributable
+// here, so topogen substitutes a seeded generator calibrated to the
+// structural properties the paper's results actually depend on:
+//
+//   - ~85% of ASes are stubs (customers only),
+//   - a small clique of Tier-1 ASes that peer with each other and
+//     transit for everyone,
+//   - heavily skewed provider degrees (preferential attachment),
+//   - widespread stub multi-homing, which creates the equally-good
+//     path choices ("tiebreak sets") that competition runs on,
+//   - a handful of content providers multihomed to large ISPs.
+//
+// Augment applies the paper's Section 6.8 / Appendix D transformation:
+// it adds peering edges from every content provider to a fraction of the
+// remaining ASes (as observed at IXPs), which shortens CP paths to ~2
+// hops and raises CP degrees to Tier-1 levels.
+package topogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sbgp/internal/asgraph"
+)
+
+// Params controls the generator. Zero fields take defaults from
+// Default.
+type Params struct {
+	// N is the total number of ASes.
+	N int
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// NumTier1 is the size of the top peering clique.
+	NumTier1 int
+	// NumCPs is the number of content providers.
+	NumCPs int
+	// StubFraction is the fraction of ASes that are stubs (paper: 0.85).
+	StubFraction float64
+	// MidLayers is the number of ISP layers below the Tier-1s.
+	MidLayers int
+
+	// StubProviderWeights[k] is the relative probability that a stub has
+	// k+1 providers. The paper's competition dynamics need a healthy
+	// multi-homed share.
+	StubProviderWeights []float64
+	// MidProviderWeights is the same for mid-tier ISPs.
+	MidProviderWeights []float64
+	// MidPeerMean is the expected number of same-layer peering edges per
+	// mid-tier ISP.
+	MidPeerMean float64
+	// CPProviders is how many transit providers each content provider
+	// buys from.
+	CPProviders int
+}
+
+// Default returns parameters calibrated to the paper's graph shape for
+// a topology of n ASes. For toy sizes (n below ~150) the stub fraction
+// is reduced so that enough ISPs remain for the hierarchy.
+func Default(n int, seed int64) Params {
+	numTier1 := clamp(n/200, 4, 12)
+	numCPs := 5
+	if n < 120 {
+		numCPs = 3
+	}
+	const midLayers = 2
+	stubFrac := 0.85
+	if maxFrac := float64(n-numCPs-numTier1-midLayers-4) / float64(n); maxFrac < stubFrac {
+		stubFrac = maxFrac
+	}
+	return Params{
+		N:                   n,
+		Seed:                seed,
+		NumTier1:            numTier1,
+		NumCPs:              numCPs,
+		StubFraction:        stubFrac,
+		MidLayers:           2,
+		StubProviderWeights: []float64{0.55, 0.35, 0.10}, // 45% multihomed
+		MidProviderWeights:  []float64{0.30, 0.50, 0.20},
+		MidPeerMean:         1.2,
+		CPProviders:         4,
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generate builds a topology from p. ASNs are assigned 1..N in the
+// order: Tier-1s, mid-tier ISPs (layer by layer), content providers,
+// stubs; indices therefore follow the same order.
+func Generate(p Params) (*asgraph.Graph, error) {
+	if p.N < 10 {
+		return nil, fmt.Errorf("topogen: need at least 10 ASes, got %d", p.N)
+	}
+	if p.NumTier1 < 2 {
+		return nil, fmt.Errorf("topogen: need at least 2 Tier-1s, got %d", p.NumTier1)
+	}
+	if p.StubFraction <= 0 || p.StubFraction >= 1 {
+		return nil, fmt.Errorf("topogen: stub fraction %v outside (0,1)", p.StubFraction)
+	}
+	if p.MidLayers < 1 {
+		return nil, fmt.Errorf("topogen: need at least 1 mid layer")
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	numStubs := int(float64(p.N) * p.StubFraction)
+	numISPs := p.N - numStubs - p.NumCPs
+	if numISPs < p.NumTier1+p.MidLayers {
+		return nil, fmt.Errorf("topogen: %d ASes leave only %d ISPs for %d tier-1s and %d layers",
+			p.N, numISPs, p.NumTier1, p.MidLayers)
+	}
+
+	b := asgraph.NewBuilder()
+	next := int32(1)
+	alloc := func(k int) []int32 {
+		out := make([]int32, k)
+		for i := range out {
+			out[i] = next
+			b.AddAS(next)
+			next++
+		}
+		return out
+	}
+
+	tier1 := alloc(p.NumTier1)
+	numMid := numISPs - p.NumTier1
+	layers := make([][]int32, p.MidLayers)
+	per := numMid / p.MidLayers
+	for l := 0; l < p.MidLayers; l++ {
+		k := per
+		if l == p.MidLayers-1 {
+			k = numMid - per*(p.MidLayers-1)
+		}
+		layers[l] = alloc(k)
+	}
+	cps := alloc(p.NumCPs)
+	stubs := alloc(numStubs)
+
+	// Tier-1 clique.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			b.AddPeer(tier1[i], tier1[j])
+		}
+	}
+
+	// attach tracks provider candidates with preferential attachment:
+	// every ISP appears once at creation and once more per customer
+	// acquired, producing the degree skew of the real AS graph.
+	var attach []int32
+	addProvider := func(provider, customer int32) {
+		b.AddCustomer(provider, customer)
+		attach = append(attach, provider)
+	}
+	for _, t := range tier1 {
+		attach = append(attach, t, t, t) // Tier-1 head start
+	}
+
+	// pick samples k distinct providers from pool (preferential) plus
+	// dedup against prev picks.
+	pickProviders := func(pool []int32, k int) []int32 {
+		picked := make([]int32, 0, k)
+		seen := map[int32]bool{}
+		for tries := 0; len(picked) < k && tries < 40*k+40; tries++ {
+			c := pool[rng.Intn(len(pool))]
+			if !seen[c] {
+				seen[c] = true
+				picked = append(picked, c)
+			}
+		}
+		return picked
+	}
+	sampleCount := func(weights []float64) int {
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		r := rng.Float64() * total
+		for i, w := range weights {
+			r -= w
+			if r < 0 {
+				return i + 1
+			}
+		}
+		return len(weights)
+	}
+
+	// Mid-tier ISPs: providers drawn preferentially from the attach pool
+	// restricted to earlier layers — we snapshot the pool before each
+	// layer so providers always come from strictly higher tiers,
+	// guaranteeing GR1 acyclicity by construction.
+	for l := 0; l < p.MidLayers; l++ {
+		pool := append([]int32(nil), attach...)
+		for _, m := range layers[l] {
+			k := sampleCount(p.MidProviderWeights)
+			for _, prov := range pickProviders(pool, k) {
+				addProvider(prov, m)
+			}
+		}
+		// Newly created mids join the provider pool with one base entry
+		// each, so later layers and stubs can buy transit from them.
+		attach = append(attach, layers[l]...)
+		// Same-layer peering.
+		if len(layers[l]) >= 2 && p.MidPeerMean > 0 {
+			edges := int(p.MidPeerMean * float64(len(layers[l])) / 2)
+			for e := 0; e < edges; e++ {
+				a := layers[l][rng.Intn(len(layers[l]))]
+				c := layers[l][rng.Intn(len(layers[l]))]
+				if a != c {
+					b.AddPeer(a, c)
+				}
+			}
+		}
+	}
+
+	// Content providers: multihomed customers of large ISPs (preferential
+	// pool), marked CP.
+	for _, cp := range cps {
+		b.MarkCP(cp)
+		pool := attach
+		for _, prov := range pickProviders(pool, p.CPProviders) {
+			b.AddCustomer(prov, cp)
+		}
+	}
+
+	// Stubs: 1-3 providers drawn preferentially from all ISPs.
+	for _, s := range stubs {
+		k := sampleCount(p.StubProviderWeights)
+		for _, prov := range pickProviders(attach, k) {
+			addProvider(prov, s)
+		}
+	}
+
+	return b.Build()
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(p Params) *asgraph.Graph {
+	g, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Augment returns a copy of g with extra peering edges from every
+// content provider to a perCPFraction share of the other ASes, drawn
+// uniformly — the Section 6.8 "augmented AS graph" that models the CP
+// peering visible at IXPs but missing from BGP-derived topologies.
+func Augment(g *asgraph.Graph, seed int64, perCPFraction float64) (*asgraph.Graph, error) {
+	if perCPFraction < 0 || perCPFraction > 1 {
+		return nil, fmt.Errorf("topogen: per-CP peering fraction %v outside [0,1]", perCPFraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := asgraph.NewBuilderFromGraph(g)
+	cps := g.Nodes(asgraph.ContentProvider)
+	for _, cp := range cps {
+		want := int(perCPFraction * float64(g.N()))
+		added := 0
+		picked := make(map[int32]bool)
+		for tries := 0; added < want && tries < 20*want+100; tries++ {
+			t := int32(rng.Intn(g.N()))
+			if t == cp || picked[t] || g.Rel(cp, t) != asgraph.RelNone || g.IsCP(t) {
+				continue
+			}
+			picked[t] = true
+			b.AddPeer(g.ASN(cp), g.ASN(t))
+			added++
+		}
+	}
+	return b.Build()
+}

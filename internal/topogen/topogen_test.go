@@ -1,0 +1,227 @@
+package topogen
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	p := Default(1000, 1)
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", g.N())
+	}
+	s := asgraph.ComputeStats(g)
+	if s.CPs != 5 {
+		t.Errorf("CPs = %d, want 5", s.CPs)
+	}
+	stubFrac := float64(s.Stubs) / float64(s.ASes)
+	if stubFrac < 0.80 || stubFrac > 0.90 {
+		t.Errorf("stub fraction = %v, want ~0.85", stubFrac)
+	}
+	if s.MultiHomedStubs == 0 {
+		t.Error("no multihomed stubs: competition would be impossible")
+	}
+	multiFrac := float64(s.MultiHomedStubs) / float64(s.Stubs)
+	if multiFrac < 0.30 || multiFrac > 0.60 {
+		t.Errorf("multihomed stub fraction = %v, want ~0.45", multiFrac)
+	}
+}
+
+func TestGenerateDegreeSkew(t *testing.T) {
+	g := MustGenerate(Default(2000, 2))
+	s := asgraph.ComputeStats(g)
+	// Preferential attachment must produce hubs far above the mean.
+	if float64(s.MaxDegree) < 8*s.MeanDegree {
+		t.Errorf("max degree %d vs mean %.1f: insufficient skew", s.MaxDegree, s.MeanDegree)
+	}
+	// Tier-1s (lowest ASNs) should be among the top-degree nodes.
+	top := asgraph.TopByDegree(g, 5, asgraph.ISP)
+	foundTier1 := false
+	for _, i := range top {
+		if g.ASN(i) <= 12 {
+			foundTier1 = true
+		}
+	}
+	if !foundTier1 {
+		t.Error("no Tier-1 among the top-5 degree ISPs")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Default(500, 7))
+	b := MustGenerate(Default(500, 7))
+	if a.N() != b.N() {
+		t.Fatal("sizes differ")
+	}
+	ca, pa := a.EdgeCount()
+	cb, pb := b.EdgeCount()
+	if ca != cb || pa != pb {
+		t.Fatalf("edge counts differ: (%d,%d) vs (%d,%d)", ca, pa, cb, pb)
+	}
+	for i := int32(0); i < int32(a.N()); i++ {
+		if len(a.Customers(i)) != len(b.Customers(i)) {
+			t.Fatalf("node %d adjacency differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsVary(t *testing.T) {
+	a := MustGenerate(Default(500, 1))
+	b := MustGenerate(Default(500, 2))
+	ca, pa := a.EdgeCount()
+	cb, pb := b.EdgeCount()
+	if ca == cb && pa == pb {
+		// Extremely unlikely to collide on both counts; treat as failure
+		// signal worth investigating.
+		t.Logf("edge counts coincide across seeds: (%d,%d)", ca, pa)
+		diff := false
+		for i := int32(0); i < int32(a.N()) && !diff; i++ {
+			if len(a.Customers(i)) != len(b.Customers(i)) {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Error("seeds 1 and 2 generated identical graphs")
+		}
+	}
+}
+
+func TestGenerateFullReachability(t *testing.T) {
+	// Every AS must reach a Tier-1-homed destination: the hierarchy
+	// plus the Tier-1 clique should make the graph fully reachable
+	// under valley-free routing.
+	g := MustGenerate(Default(800, 3))
+	w := routing.NewWorkspace(g)
+	// Check a few destinations of each class.
+	dests := []int32{0} // first Tier-1
+	dests = append(dests, g.Nodes(asgraph.ContentProvider)[0])
+	stubs := g.Nodes(asgraph.Stub)
+	dests = append(dests, stubs[0], stubs[len(stubs)-1])
+	for _, d := range dests {
+		s := w.ComputeStatic(d)
+		unreachable := 0
+		for i := int32(0); i < int32(g.N()); i++ {
+			if s.Type[i] == routing.NoRoute {
+				unreachable++
+			}
+		}
+		if unreachable > 0 {
+			t.Errorf("dest %d: %d ASes cannot reach it", g.ASN(d), unreachable)
+		}
+	}
+}
+
+func TestGenerateParamValidation(t *testing.T) {
+	cases := []Params{
+		{N: 5, Seed: 1, NumTier1: 2, StubFraction: 0.8, MidLayers: 1},
+		{N: 100, Seed: 1, NumTier1: 1, StubFraction: 0.8, MidLayers: 1},
+		{N: 100, Seed: 1, NumTier1: 3, StubFraction: 1.2, MidLayers: 1},
+		{N: 100, Seed: 1, NumTier1: 3, StubFraction: 0.8, MidLayers: 0},
+		{N: 100, Seed: 1, NumTier1: 10, StubFraction: 0.97, MidLayers: 2, NumCPs: 2,
+			StubProviderWeights: []float64{1}, MidProviderWeights: []float64{1}},
+	}
+	for i, p := range cases {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAugmentRaisesCPDegreeAndCutsPaths(t *testing.T) {
+	base := MustGenerate(Default(1200, 4))
+	aug, err := Augment(base, 5, 0.5)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if aug.N() != base.N() {
+		t.Fatalf("augmentation changed N: %d vs %d", aug.N(), base.N())
+	}
+
+	cpBase := base.Nodes(asgraph.ContentProvider)
+	cpAug := aug.Nodes(asgraph.ContentProvider)
+	if len(cpBase) != len(cpAug) {
+		t.Fatal("CP count changed")
+	}
+
+	meanPath := func(g *asgraph.Graph, cp int32) float64 {
+		w := routing.NewWorkspace(g)
+		s := w.ComputeStatic(cp)
+		var sum, cnt float64
+		for i := int32(0); i < int32(g.N()); i++ {
+			if s.Type[i] != routing.NoRoute && i != cp {
+				sum += float64(s.Len[i])
+				cnt++
+			}
+		}
+		return sum / cnt
+	}
+
+	for k := range cpBase {
+		dBase := base.Degree(cpBase[k])
+		dAug := aug.Degree(cpAug[k])
+		if dAug <= dBase {
+			t.Errorf("CP %d: degree %d -> %d, want increase", k, dBase, dAug)
+		}
+		// Path length from all ASes toward the CP must drop.
+		pb := meanPath(base, cpBase[k])
+		pa := meanPath(aug, cpAug[k])
+		if pa >= pb {
+			t.Errorf("CP %d: mean path %v -> %v, want decrease", k, pb, pa)
+		}
+		if pa > 2.6 {
+			t.Errorf("CP %d: augmented mean path %v, want ~2 (paper Table 3)", k, pa)
+		}
+	}
+}
+
+func TestAugmentValidation(t *testing.T) {
+	g := MustGenerate(Default(200, 1))
+	if _, err := Augment(g, 1, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Augment(g, 1, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestAugmentPreservesBase(t *testing.T) {
+	base := MustGenerate(Default(300, 9))
+	aug, err := Augment(base, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Augmentation may only add peering edges: customer-provider count
+	// must be unchanged, peering must grow.
+	cb, pb := base.EdgeCount()
+	ca, pa := aug.EdgeCount()
+	if ca != cb {
+		t.Errorf("customer-provider edges changed: %d -> %d", cb, ca)
+	}
+	if pa <= pb {
+		t.Errorf("peering edges did not grow: %d -> %d", pb, pa)
+	}
+	// Classes and weights preserved.
+	for i := int32(0); i < int32(base.N()); i++ {
+		if base.Class(i) != aug.Class(i) {
+			t.Fatalf("class changed at node %d", i)
+		}
+	}
+}
+
+func TestGenerateSmallGraph(t *testing.T) {
+	// The generator must work at toy scale too.
+	p := Default(50, 5)
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate(50): %v", err)
+	}
+	if g.N() != 50 {
+		t.Errorf("N = %d", g.N())
+	}
+}

@@ -1,0 +1,274 @@
+// Package sbgp is a research-grade reimplementation of the evaluation
+// framework from Gill, Schapira and Goldberg, "Let the Market Drive
+// Deployment: A Strategy for Transitioning to BGP Security" (SIGCOMM
+// 2011).
+//
+// The paper proposes driving global S*BGP (Secure BGP / soBGP)
+// deployment through ISPs' economic interest in attracting
+// revenue-generating customer traffic: secure ASes break ties among
+// equally-good BGP routes in favor of fully-secure paths, stubs get
+// lightweight "simplex" S*BGP from their providers, and a small set of
+// well-connected early adopters seeds the market pressure. This package
+// provides everything needed to study that process:
+//
+//   - labeled AS graphs with customer/provider and peering relationships
+//     (Builder, ReadGraph, ParseCAIDA) and an Internet-calibrated
+//     synthetic topology generator (GenerateTopology, AugmentTopology);
+//   - the Gao-Rexford routing model with security-aware tie-breaking
+//     (Tiebreaker implementations; the routing internals power
+//     everything else);
+//   - the deployment game itself (Run with a Config selecting the
+//     outgoing or incoming utility model, threshold θ, early adopters,
+//     stub behavior);
+//   - early-adopter selection strategies and the paper's evaluation
+//     metrics (secure-path fractions, tiebreak-set distributions,
+//     diamond counts, adoption curves, turn-off scans).
+//
+// A minimal session:
+//
+//	g := sbgp.MustGenerateTopology(sbgp.DefaultTopology(2000, 42))
+//	g.SetCPTrafficFraction(0.10)
+//	cfg := sbgp.Config{
+//		Model:          sbgp.Outgoing,
+//		Theta:          0.05,
+//		EarlyAdopters:  sbgp.CPsPlusTopISPs(g, 5),
+//		StubsBreakTies: true,
+//	}
+//	res, err := sbgp.Run(g, cfg)
+//	// res.SecureFractionASes(), res.Rounds, ...
+package sbgp
+
+import (
+	"io"
+
+	"sbgp/internal/adopters"
+	"sbgp/internal/asgraph"
+	"sbgp/internal/metrics"
+	"sbgp/internal/routing"
+	"sbgp/internal/sim"
+	"sbgp/internal/topogen"
+)
+
+// Graph is an immutable labeled AS graph. See Builder for construction,
+// GenerateTopology for synthetic Internet-like instances.
+type Graph = asgraph.Graph
+
+// Builder accumulates ASes and relationships and produces a Graph.
+type Builder = asgraph.Builder
+
+// Class is the business role of an AS: Stub, ISP or ContentProvider.
+type Class = asgraph.Class
+
+// Rel is a neighbor relationship: RelCustomer, RelPeer or RelProvider.
+type Rel = asgraph.Rel
+
+// GraphStats summarizes a graph (Table 2 style).
+type GraphStats = asgraph.Stats
+
+// AS classes.
+const (
+	Stub            = asgraph.Stub
+	ISP             = asgraph.ISP
+	ContentProvider = asgraph.ContentProvider
+)
+
+// Relationships.
+const (
+	RelNone     = asgraph.RelNone
+	RelCustomer = asgraph.RelCustomer
+	RelPeer     = asgraph.RelPeer
+	RelProvider = asgraph.RelProvider
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return asgraph.NewBuilder() }
+
+// ReadGraph parses the native topology text format.
+func ReadGraph(r io.Reader) (*Graph, error) { return asgraph.Read(r) }
+
+// ReadGraphFile parses the named topology file.
+func ReadGraphFile(path string) (*Graph, error) { return asgraph.ReadFile(path) }
+
+// WriteGraph serializes a graph in the native text format.
+func WriteGraph(w io.Writer, g *Graph) error { return asgraph.Write(w, g) }
+
+// WriteGraphFile serializes a graph to the named file.
+func WriteGraphFile(path string, g *Graph) error { return asgraph.WriteFile(path, g) }
+
+// ParseCAIDA reads the CAIDA serial-1 AS-relationship format.
+func ParseCAIDA(r io.Reader) (*Graph, error) { return asgraph.ParseCAIDA(r) }
+
+// ComputeStats summarizes a graph.
+func ComputeStats(g *Graph) GraphStats { return asgraph.ComputeStats(g) }
+
+// TopByDegree returns the k highest-degree nodes of the given classes.
+func TopByDegree(g *Graph, k int, classes ...Class) []int32 {
+	return asgraph.TopByDegree(g, k, classes...)
+}
+
+// CPWeightFor returns the per-CP traffic weight for a graph of n ASes
+// with k CPs originating fraction x of all traffic (Section 3.1).
+func CPWeightFor(n, k int, x float64) float64 { return asgraph.CPWeightFor(n, k, x) }
+
+// TopologyParams parameterizes the synthetic topology generator.
+type TopologyParams = topogen.Params
+
+// DefaultTopology returns generator parameters calibrated to the
+// paper's AS-graph shape (85% stubs, Tier-1 clique, degree skew, five
+// content providers) for n ASes.
+func DefaultTopology(n int, seed int64) TopologyParams { return topogen.Default(n, seed) }
+
+// GenerateTopology builds a synthetic Internet-like AS graph.
+func GenerateTopology(p TopologyParams) (*Graph, error) { return topogen.Generate(p) }
+
+// MustGenerateTopology is GenerateTopology that panics on error.
+func MustGenerateTopology(p TopologyParams) *Graph { return topogen.MustGenerate(p) }
+
+// AugmentTopology adds IXP-style peering edges from every content
+// provider to a perCPFraction share of all ASes (the paper's Section
+// 6.8 augmented graph).
+func AugmentTopology(g *Graph, seed int64, perCPFraction float64) (*Graph, error) {
+	return topogen.Augment(g, seed, perCPFraction)
+}
+
+// Config parameterizes a deployment simulation. See the field docs in
+// the sim package section of the README.
+type Config = sim.Config
+
+// Result is a deployment simulation outcome.
+type Result = sim.Result
+
+// Round records one simulation round.
+type Round = sim.Round
+
+// Counts tallies the secure population by AS class.
+type Counts = sim.Counts
+
+// UtilityModel selects the ISP utility function.
+type UtilityModel = sim.UtilityModel
+
+// Utility models (Section 3.3).
+const (
+	Outgoing = sim.Outgoing
+	Incoming = sim.Incoming
+)
+
+// Run executes the deployment game over g until it stabilizes,
+// oscillates, or hits the round cap.
+func Run(g *Graph, cfg Config) (*Result, error) {
+	s, err := sim.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Utilities computes every ISP's utility in an arbitrary state.
+func Utilities(g *Graph, secure []bool, cfg Config) ([]float64, error) {
+	return sim.Utilities(g, secure, cfg)
+}
+
+// EvaluateFlip returns ISP n's utility and projected post-flip utility
+// in the given state (the two sides of the paper's update rule 3).
+func EvaluateFlip(g *Graph, secure []bool, cfg Config, n int32) (base, proj float64, err error) {
+	return sim.EvaluateFlip(g, secure, cfg, n)
+}
+
+// EvaluateFlipPerDest decomposes EvaluateFlip by destination
+// (Section 7.3's per-destination turn-off analysis).
+func EvaluateFlipPerDest(g *Graph, secure []bool, cfg Config, n int32) (base, proj []float64, err error) {
+	return sim.EvaluateFlipPerDest(g, secure, cfg, n)
+}
+
+// Tiebreaker is the deterministic final tie-break of route selection.
+type Tiebreaker = routing.Tiebreaker
+
+// HashTiebreaker is the paper's hash-based TB rule.
+type HashTiebreaker = routing.HashTiebreaker
+
+// LowestIndex breaks ties toward the lowest node index (lowest ASN).
+type LowestIndex = routing.LowestIndex
+
+// Early-adopter selection strategies (Section 6).
+
+// ContentProviders returns all content-provider nodes.
+func ContentProviders(g *Graph) []int32 { return adopters.ContentProviders(g) }
+
+// TopISPs returns the k highest-degree ISPs.
+func TopISPs(g *Graph, k int) []int32 { return adopters.TopISPs(g, k) }
+
+// CPsPlusTopISPs returns the CPs plus the k highest-degree ISPs.
+func CPsPlusTopISPs(g *Graph, k int) []int32 { return adopters.CPsPlusTopISPs(g, k) }
+
+// RandomISPs returns k uniform-random ISPs.
+func RandomISPs(g *Graph, k int, seed int64) []int32 { return adopters.RandomISPs(g, k, seed) }
+
+// ParseAdopters resolves a textual early-adopter specification
+// (none | cps | topK | cps+topK | randomK) — the grammar the CLI tools
+// share.
+func ParseAdopters(g *Graph, spec string, seed int64) ([]int32, error) {
+	return adopters.Parse(g, spec, seed)
+}
+
+// GreedyAdopters picks k early adopters by greedy marginal gain over
+// repeated simulation runs (heuristic for the NP-hard Theorem 6.1
+// problem).
+func GreedyAdopters(g *Graph, cfg Config, candidates []int32, k int) ([]int32, error) {
+	return adopters.Greedy(g, cfg, candidates, k)
+}
+
+// Evaluation metrics (the paper's figures and tables).
+
+// SecurePaths reports the secure fraction of the src-dst path matrix.
+type SecurePaths = metrics.SecurePaths
+
+// TiebreakDist is the tiebreak-set size distribution.
+type TiebreakDist = metrics.TiebreakDist
+
+// TurnOffReport summarizes turn-off incentives in a state.
+type TurnOffReport = metrics.TurnOffReport
+
+// Trajectory is an ISP's normalized per-round utility.
+type Trajectory = metrics.Trajectory
+
+// ComputeSecurePaths counts fully-secure source-destination paths in a
+// state (Fig. 9).
+func ComputeSecurePaths(g *Graph, secure []bool, stubsBreakTies bool, tb Tiebreaker) SecurePaths {
+	return metrics.ComputeSecurePaths(g, secure, stubsBreakTies, tb)
+}
+
+// ComputeTiebreakDist measures tiebreak-set sizes over all pairs
+// (Fig. 10).
+func ComputeTiebreakDist(g *Graph) TiebreakDist { return metrics.ComputeTiebreakDist(g) }
+
+// CountDiamonds counts Table 1's competition diamonds per early adopter.
+func CountDiamonds(g *Graph, earlyAdopters []int32) map[int32]int64 {
+	return metrics.CountDiamonds(g, earlyAdopters)
+}
+
+// AdoptionByDegree returns per-round cumulative adoption fractions per
+// degree bin (Fig. 6).
+func AdoptionByDegree(g *Graph, res *Result, binEdges []int) [][]float64 {
+	return metrics.AdoptionByDegree(g, res, binEdges)
+}
+
+// UtilityTrajectories extracts normalized utility trajectories (Fig. 4).
+func UtilityTrajectories(res *Result, nodes []int32) []Trajectory {
+	return metrics.UtilityTrajectories(res, nodes)
+}
+
+// DeployerMedians returns per-round median (projected) utility of
+// deploying ISPs (Fig. 5).
+func DeployerMedians(res *Result) (util, proj []float64) {
+	return metrics.DeployerMedians(res)
+}
+
+// ProjectionAccuracy returns sorted projected/realized utility ratios
+// for deploying ISPs (Fig. 14).
+func ProjectionAccuracy(res *Result) []float64 { return metrics.ProjectionAccuracy(res) }
+
+// ScanTurnOff evaluates every secure ISP's incentive to disable S*BGP
+// (Section 7.3).
+func ScanTurnOff(g *Graph, secure []bool, cfg Config) (TurnOffReport, error) {
+	return metrics.ScanTurnOff(g, secure, cfg)
+}

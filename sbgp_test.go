@@ -1,0 +1,178 @@
+package sbgp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndCaseStudy is the headline integration test: the paper's
+// Section 5 setup on a synthetic graph must reproduce the paper's
+// qualitative findings.
+func TestEndToEndCaseStudy(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(1000, 42))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{
+		Model:           Outgoing,
+		Theta:           0.05,
+		EarlyAdopters:   CPsPlusTopISPs(g, 5),
+		StubsBreakTies:  true,
+		RecordUtilities: true,
+	}
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !res.Stable {
+		t.Error("case study must stabilize (outgoing utility)")
+	}
+	// Paper: 85% of ASes, 80% of ISPs. Our synthetic substrate lands in
+	// the same regime; assert the regime, not the decimal.
+	if f := res.SecureFractionASes(); f < 0.70 || f > 0.99 {
+		t.Errorf("secure AS fraction = %v, want the 'vast majority' regime", f)
+	}
+	if f := res.SecureFractionISPs(); f < 0.50 {
+		t.Errorf("secure ISP fraction = %v, want majority", f)
+	}
+	// Paper: 100% never becomes secure — BGP and S*BGP coexist.
+	if res.Final.SecureASes == g.N() {
+		t.Error("everyone became secure; the paper's coexistence finding should hold")
+	}
+	// Multi-round cascade, not a one-shot jump.
+	if res.NumRounds() < 3 {
+		t.Errorf("rounds = %d, want a multi-round cascade", res.NumRounds())
+	}
+
+	// Fig. 9: secure-path fraction lands slightly below f².
+	sp := ComputeSecurePaths(g, res.FinalSecure, true, HashTiebreaker{})
+	f2 := sp.SecureASFraction * sp.SecureASFraction
+	if sp.Fraction > f2+1e-9 {
+		t.Errorf("secure paths %v above f² %v", sp.Fraction, f2)
+	}
+	if sp.Fraction < 0.80*f2 {
+		t.Errorf("secure paths %v too far below f² %v (paper: ~4%% below)", sp.Fraction, f2)
+	}
+}
+
+// TestThetaMonotonicity: higher deployment costs can only suppress
+// adoption (same graph, same adopters).
+func TestThetaMonotonicity(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(600, 3))
+	g.SetCPTrafficFraction(0.10)
+	ad := CPsPlusTopISPs(g, 5)
+	prev := math.Inf(1)
+	for _, th := range []float64{0, 0.05, 0.20, 0.50} {
+		res, err := Run(g, Config{Model: Outgoing, Theta: th, EarlyAdopters: ad, StubsBreakTies: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := res.SecureFractionASes()
+		// Allow a tiny tolerance: tie-break randomness can let a higher
+		// θ strand a slightly different set, but the trend must hold.
+		if f > prev+0.05 {
+			t.Errorf("θ=%v: fraction %v exceeds lower-θ fraction %v", th, f, prev)
+		}
+		prev = f
+	}
+}
+
+// TestHighThetaDrivenBySimplexStubs checks Section 6.5: at θ=50% the
+// secure population is dominated by simplex stubs, not full-S*BGP ISPs.
+func TestHighThetaDrivenBySimplexStubs(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(800, 9))
+	g.SetCPTrafficFraction(0.10)
+	res, err := Run(g, Config{
+		Model:          Outgoing,
+		Theta:          0.50,
+		EarlyAdopters:  TopISPs(g, 20),
+		StubsBreakTies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.SecureASes == 0 {
+		t.Fatal("nothing deployed")
+	}
+	stubShare := float64(res.Final.SecureStubs) / float64(res.Final.SecureASes)
+	if stubShare < 0.75 {
+		t.Errorf("stub share of secure ASes = %v, want simplex-dominated (>0.75)", stubShare)
+	}
+}
+
+// TestWellConnectedBeatRandom checks the Section 6.3 finding that
+// random early adopters are much weaker than top-degree ones at
+// moderate θ.
+func TestWellConnectedBeatRandom(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(800, 11))
+	g.SetCPTrafficFraction(0.10)
+	k := len(g.Nodes(ISP)) / 10
+	run := func(set []int32) float64 {
+		res, err := Run(g, Config{Model: Outgoing, Theta: 0.10, EarlyAdopters: set, StubsBreakTies: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SecureFractionASes()
+	}
+	top := run(TopISPs(g, k))
+	rnd := run(RandomISPs(g, k, 5))
+	if top <= rnd {
+		t.Errorf("top-%d adopters (%.2f) should beat %d random ones (%.2f)", k, top, k, rnd)
+	}
+}
+
+func TestGraphRoundTripThroughFacade(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(200, 1))
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() {
+		t.Fatalf("round trip changed N: %d vs %d", g2.N(), g.N())
+	}
+	s1, s2 := ComputeStats(g), ComputeStats(g2)
+	if s1 != s2 {
+		t.Errorf("stats differ after round trip:\n%v\nvs\n%v", s1, s2)
+	}
+}
+
+func TestParseCAIDAFacade(t *testing.T) {
+	g, err := ParseCAIDA(strings.NewReader("1|2|-1\n2|3|0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestCPWeightForFacade(t *testing.T) {
+	if w := CPWeightFor(36964, 5, 0.10); w < 820 || w > 823 {
+		t.Errorf("CPWeightFor = %v, want ~821 (paper Section 7.1)", w)
+	}
+}
+
+func TestGreedyAdoptersFacade(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(200, 2))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{Model: Outgoing, Theta: 0.05, StubsBreakTies: true}
+	chosen, err := GreedyAdopters(g, cfg, TopISPs(g, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) == 0 {
+		t.Error("greedy chose nothing on a live graph")
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	g := MustGenerateTopology(DefaultTopology(100, 1))
+	if _, err := Run(g, Config{Theta: -2}); err == nil {
+		t.Error("negative theta accepted")
+	}
+}

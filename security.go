@@ -1,0 +1,72 @@
+package sbgp
+
+import (
+	"sbgp/internal/attack"
+	"sbgp/internal/perlink"
+)
+
+// Attack evaluation (the resilience quantification the paper defers to
+// future work in Section 6.4, using the hijack methodology of [15] it
+// cites in Section 2.2.1).
+
+// AttackPolicy selects how deployed ASes treat bogus announcements.
+type AttackPolicy = attack.Policy
+
+// Attack policies.
+const (
+	// TieBreakOnly applies security only through the SecP tie-break
+	// (the paper's deployment rule).
+	TieBreakOnly = attack.TieBreakOnly
+	// RejectInvalid makes validating ASes drop routes that fail path
+	// validation.
+	RejectInvalid = attack.RejectInvalid
+)
+
+// AttackState is the security configuration for attack evaluation.
+type AttackState = attack.State
+
+// AttackScenario is one hijack instance: Attacker falsely originates
+// Victim's prefix.
+type AttackScenario = attack.Scenario
+
+// AttackResult reports who fell for a hijack.
+type AttackResult = attack.Result
+
+// AttackSummary aggregates sampled hijack outcomes.
+type AttackSummary = attack.Summary
+
+// NewAttackState derives the attack-relevant security state from a
+// secure bitmap (simplex stubs do not validate).
+func NewAttackState(g *Graph, secure []bool, stubsBreakTies bool) AttackState {
+	return attack.NewState(g, secure, stubsBreakTies)
+}
+
+// SimulateAttack computes the routing outcome of one hijack scenario.
+func SimulateAttack(g *Graph, sc AttackScenario, st AttackState, pol AttackPolicy, tb Tiebreaker) (AttackResult, error) {
+	return attack.Simulate(g, sc, st, pol, tb)
+}
+
+// SampleAttacks evaluates k random attacker/victim scenarios.
+func SampleAttacks(g *Graph, st AttackState, pol AttackPolicy, tb Tiebreaker, k int, seed int64) (AttackSummary, error) {
+	return attack.Sample(g, st, pol, tb, k, seed)
+}
+
+// Per-link S*BGP deployment (Section 8.3, Theorems J.1/J.2).
+
+// LinkState records which links each AS runs S*BGP on.
+type LinkState = perlink.State
+
+// NewLinkState returns an all-disabled per-link state.
+func NewLinkState(g *Graph) *LinkState { return perlink.NewState(g) }
+
+// LinkUtilities computes every node's utility with routes resolved
+// against the link-level security state.
+func LinkUtilities(st *LinkState, model UtilityModel, tb Tiebreaker) ([]float64, error) {
+	return perlink.Utilities(st, model, tb)
+}
+
+// GreedyLinks hill-climbs node n's link set to maximize its utility —
+// the natural heuristic for the NP-hard per-link optimization.
+func GreedyLinks(st *LinkState, model UtilityModel, tb Tiebreaker, n int32) (map[int32]bool, float64, error) {
+	return perlink.GreedyLinks(st, model, tb, n)
+}

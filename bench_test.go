@@ -60,7 +60,7 @@ func BenchmarkResolve(b *testing.B) {
 	tree.Clear(g.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.ResolveInto(&tree, s, secure, breaks, nil, tb)
+		w.ResolveInto(&tree, s, secure, breaks, nil, nil, tb)
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		projectStub = flag.Bool("project-stubs", false, "projection bundles the ISP's simplex stub upgrades")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		stats       = flag.Bool("stats", false, "print per-round engine statistics")
 		quiet       = flag.Bool("q", false, "summary only")
 	)
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 		Tiebreaker:          sbgp.HashTiebreaker{Seed: uint64(*seed)},
 		Workers:             *workers,
 		MaxRounds:           *maxRounds,
+		RecordStats:         *stats,
 	}
 	switch *model {
 	case "outgoing":
@@ -94,6 +96,9 @@ func main() {
 		for r := range newA {
 			fmt.Printf("round %3d: +%d ASes (+%d ISPs), total %d secure\n",
 				r+1, newA[r], newI[r], res.Rounds[r].After.SecureASes)
+			if st := res.Rounds[r].Stats; st != nil {
+				fmt.Printf("  engine: %s\n", st)
+			}
 		}
 	}
 	fmt.Print(res.Summary(g))

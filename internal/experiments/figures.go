@@ -253,7 +253,7 @@ func securePathLengths(g *asgraph.Graph, secure []bool, cfg sim.Config) (frac fl
 	for d := int32(0); d < int32(g.N()); d++ {
 		s := w.ComputeStatic(d)
 		tree.Clear(g.N())
-		w.ResolveInto(&tree, s, secure, breaks, nil, cfg.Tiebreaker)
+		w.ResolveInto(&tree, s, secure, breaks, nil, nil, cfg.Tiebreaker)
 		for _, i := range s.Order() {
 			if tree.Secure[i] {
 				cnt++

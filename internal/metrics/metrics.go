@@ -36,7 +36,7 @@ func ComputeSecurePaths(g *asgraph.Graph, secure []bool, stubsBreakTies bool, tb
 	for d := int32(0); d < int32(n); d++ {
 		s := w.ComputeStatic(d)
 		tree.Clear(n)
-		w.ResolveInto(&tree, s, secure, breaks, nil, tb)
+		w.ResolveInto(&tree, s, secure, breaks, nil, nil, tb)
 		for _, i := range s.Order() {
 			if tree.Secure[i] {
 				securePairs++

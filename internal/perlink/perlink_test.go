@@ -41,7 +41,7 @@ func TestFullEnablementMatchesNodeLevel(t *testing.T) {
 			st.Resolve(ws, &linkTree, stc, tb)
 			stc2 := ws2.ComputeStatic(d)
 			nodeTree.Clear(g.N())
-			ws2.ResolveInto(&nodeTree, stc2, secure, breaks, nil, tb)
+			ws2.ResolveInto(&nodeTree, stc2, secure, breaks, nil, nil, tb)
 			for i := int32(0); i < int32(g.N()); i++ {
 				if linkTree.Parent[i] != nodeTree.Parent[i] {
 					t.Fatalf("trial %d dest %d node %d: parents differ (%d vs %d)",

@@ -1,0 +1,175 @@
+package routing
+
+// Delta resolution computes projected routing trees by change
+// propagation instead of re-resolution. A node's decision depends only
+// on its own flags and the Secure flags of its tiebreak candidates
+// (strictly shorter nodes), so flipping a small set of nodes can only
+// alter the decisions of the flipped nodes themselves plus,
+// transitively, the *dependents* of every node whose Secure flag
+// actually changed — where the dependents of b are the nodes listing b
+// in their tiebreak set. ApplyFlips walks exactly that affected set in
+// ascending order position, which for typical flip sets is a vanishing
+// fraction of the graph (most projections die after a handful of
+// nodes), and an undo log restores the base tree afterwards in
+// O(touched).
+
+// undoEntry records one node's pre-flip tree entry.
+type undoEntry struct {
+	node   int32
+	parent int32
+	secure bool
+}
+
+// PrepareDelta builds the dependents index for the workspace's current
+// static info — the transpose of the tiebreak adjacency — plus the
+// propagation scratch. Call it once per destination (after
+// ComputeStatic or PrepareDest) before the first ApplyFlips.
+func (w *Workspace) PrepareDelta(s *Static) {
+	n := w.g.N()
+	if len(w.revOff) < n+1 {
+		w.revOff = make([]int32, n+1)
+		w.revCur = make([]int32, n)
+		w.inHeap = make([]bool, n)
+	}
+	for i := 0; i <= n; i++ {
+		w.revOff[i] = 0
+	}
+	for _, b := range s.tbAdj {
+		w.revOff[b+1]++
+	}
+	for i := 0; i < n; i++ {
+		w.revOff[i+1] += w.revOff[i]
+	}
+	if cap(w.revAdj) < len(s.tbAdj) {
+		w.revAdj = make([]int32, len(s.tbAdj))
+	}
+	w.revAdj = w.revAdj[:len(s.tbAdj)]
+	copy(w.revCur, w.revOff[:n])
+	for _, i := range s.order {
+		for _, b := range s.Tiebreak(i) {
+			w.revAdj[w.revCur[b]] = i
+			w.revCur[b]++
+		}
+	}
+}
+
+// ApplyFlips mutates t — which must currently equal the tree resolved
+// for (s, secure, breaks) with no flips — into the projected tree for
+// the given flip set, bit-identical to a full ResolveInto with the same
+// arguments. Seeded with the reachable flipped nodes, it re-decides
+// nodes in ascending order position (so every candidate is final when
+// read, exactly as in a full resolution) and enqueues the dependents of
+// each node whose Secure flag changes; nodes never reached provably
+// decide as in the base tree.
+//
+// It returns whether any parent differs from the base tree — when false
+// the projected tree routes identically, so every traffic accumulation
+// over it is bit-equal to the base one — and the number of nodes
+// re-decided (the propagation work). RevertFlips restores t; Apply and
+// Revert calls must alternate. PrepareDelta must have been called for s.
+func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, flipList []int32, tb Tiebreaker) (changed bool, touched int) {
+	w.undo = w.undo[:0]
+	w.heap = w.heap[:0]
+	for _, f := range flipList {
+		if f == s.Dest {
+			// The destination's entry is Parent -1, Secure = its own
+			// deployment flag; a flip toggles Secure and can affect any
+			// node listing the destination as a next hop.
+			dSec := !secure[f]
+			if t.Secure[f] != dSec {
+				w.undo = append(w.undo, undoEntry{f, t.Parent[f], t.Secure[f]})
+				t.Secure[f] = dSec
+				for _, j := range w.revAdj[w.revOff[f]:w.revOff[f+1]] {
+					if !w.inHeap[j] {
+						w.inHeap[j] = true
+						w.heapPush(s.pos[j])
+					}
+				}
+			}
+			continue
+		}
+		if p := s.pos[f]; p >= 0 && !w.inHeap[f] {
+			w.inHeap[f] = true
+			w.heapPush(p)
+		}
+	}
+	for len(w.heap) > 0 {
+		i := s.order[w.heapPop()]
+		w.inHeap[i] = false
+		touched++
+		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+		if !ok || (p == t.Parent[i] && sec == t.Secure[i]) {
+			continue
+		}
+		w.undo = append(w.undo, undoEntry{i, t.Parent[i], t.Secure[i]})
+		if p != t.Parent[i] {
+			changed = true
+		}
+		secChanged := sec != t.Secure[i]
+		t.Parent[i] = p
+		t.Secure[i] = sec
+		if secChanged {
+			for _, j := range w.revAdj[w.revOff[i]:w.revOff[i+1]] {
+				if !w.inHeap[j] {
+					w.inHeap[j] = true
+					w.heapPush(s.pos[j])
+				}
+			}
+		}
+	}
+	return changed, touched
+}
+
+// RevertFlips undoes the preceding ApplyFlips, restoring t to the base
+// tree in O(nodes changed).
+func (w *Workspace) RevertFlips(t *Tree) {
+	for k := len(w.undo) - 1; k >= 0; k-- {
+		e := w.undo[k]
+		t.Parent[e.node] = e.parent
+		t.Secure[e.node] = e.secure
+	}
+	w.undo = w.undo[:0]
+}
+
+// heapPush and heapPop maintain w.heap as a binary min-heap of order
+// positions. Positions are unique (nodes are deduplicated via inHeap
+// before pushing), and every push during propagation is strictly larger
+// than the last popped position, so each node is popped at most once.
+func (w *Workspace) heapPush(p int32) {
+	h := append(w.heap, p)
+	k := len(h) - 1
+	for k > 0 {
+		parent := (k - 1) / 2
+		if h[parent] <= h[k] {
+			break
+		}
+		h[parent], h[k] = h[k], h[parent]
+		k = parent
+	}
+	w.heap = h
+}
+
+func (w *Workspace) heapPop() int32 {
+	h := w.heap
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	k := 0
+	for {
+		l, r, small := 2*k+1, 2*k+2, k
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == k {
+			break
+		}
+		h[k], h[small] = h[small], h[k]
+		k = small
+	}
+	w.heap = h
+	return min
+}

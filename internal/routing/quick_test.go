@@ -26,7 +26,7 @@ func TestQuickTreeInvariants(t *testing.T) {
 		for d := int32(0); d < int32(g.N()); d++ {
 			s := w.ComputeStatic(d)
 			tree.Clear(g.N())
-			w.ResolveInto(&tree, s, sec, brk, nil, tb)
+			w.ResolveInto(&tree, s, sec, brk, nil, nil, tb)
 			if err := VerifyTree(g, s, &tree, sec); err != nil {
 				t.Logf("seed %d dest %d: %v", seed, d, err)
 				return false
@@ -57,7 +57,7 @@ func TestQuickFlippedTreeInvariants(t *testing.T) {
 		for d := int32(0); d < int32(g.N()); d++ {
 			s := w.ComputeStatic(d)
 			tree.Clear(g.N())
-			w.ResolveInto(&tree, s, sec, brk, flipped, tb)
+			w.ResolveInto(&tree, s, sec, brk, flipped, nil, tb)
 			if err := VerifyTree(g, s, &tree, flippedSec); err != nil {
 				t.Logf("seed %d dest %d flip %d: %v", seed, d, flip, err)
 				return false
@@ -68,6 +68,111 @@ func TestQuickFlippedTreeInvariants(t *testing.T) {
 	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestQuickIncrementalResolution: the two incremental projection
+// strategies — suffix resolution (ResolveSuffixInto) and change
+// propagation (PrepareDelta/ApplyFlips) — must produce trees
+// bit-identical to a full ResolveInto with the same flip set, their
+// parents-changed reports must match an explicit comparison against the
+// base tree, and RevertFlips must restore the base tree exactly.
+// Exercised over random graphs, states, multi-node flip sets with
+// per-node tie-break policies, and both the plain and PrepareDest
+// (precomputed-winner) static paths.
+func TestQuickIncrementalResolution(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(18), 0.15, 0.1, 0.25)
+		n := g.N()
+		sec, brk := asgraphtest.RandomState(rng, n, 0.5, 0.7)
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		w := NewWorkspace(g)
+
+		flipped := make([]bool, n)
+		var flipBreaks []bool
+		if rng.Float64() < 0.8 {
+			flipBreaks = make([]bool, n)
+		}
+		var flipList []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.25 {
+				flipped[i] = true
+				if flipBreaks != nil {
+					flipBreaks[i] = rng.Float64() < 0.5
+				}
+				flipList = append(flipList, int32(i))
+			}
+		}
+		if len(flipList) == 0 {
+			f := int32(rng.Intn(n))
+			flipped[f] = true
+			flipList = append(flipList, f)
+		}
+
+		var base, full, suffix, delta Tree
+		for d := int32(0); d < int32(n); d++ {
+			var s *Static
+			if d%2 == 0 {
+				s = w.PrepareDest(d, tb)
+			} else {
+				s = w.ComputeStatic(d)
+			}
+			base.Clear(n)
+			w.ResolveInto(&base, s, sec, brk, nil, nil, tb)
+			full.Clear(n)
+			w.ResolveInto(&full, s, sec, brk, flipped, flipBreaks, tb)
+
+			suffix.Clear(n)
+			_, sameParents := w.ResolveSuffixInto(&suffix, &base, s, sec, brk, flipped, flipBreaks, flipList, tb)
+			if !treesEqual(&suffix, &full, n) {
+				t.Logf("seed %d dest %d: suffix tree differs from full resolution", seed, d)
+				return false
+			}
+			if sameParents != parentsEqual(&suffix, &base, n) {
+				t.Logf("seed %d dest %d: sameParents=%v contradicts explicit comparison", seed, d, sameParents)
+				return false
+			}
+
+			w.PrepareDelta(s)
+			delta.CopyFrom(&base)
+			changed, _ := w.ApplyFlips(&delta, s, sec, brk, flipped, flipBreaks, flipList, tb)
+			if !treesEqual(&delta, &full, n) {
+				t.Logf("seed %d dest %d: propagated tree differs from full resolution", seed, d)
+				return false
+			}
+			if changed == parentsEqual(&delta, &base, n) {
+				t.Logf("seed %d dest %d: changed=%v contradicts explicit comparison", seed, d, changed)
+				return false
+			}
+			w.RevertFlips(&delta)
+			if !treesEqual(&delta, &base, n) {
+				t.Logf("seed %d dest %d: RevertFlips did not restore the base tree", seed, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func treesEqual(a, b *Tree, n int) bool {
+	for i := 0; i < n; i++ {
+		if a.Parent[i] != b.Parent[i] || a.Secure[i] != b.Secure[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func parentsEqual(a, b *Tree, n int) bool {
+	for i := 0; i < n; i++ {
+		if a.Parent[i] != b.Parent[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestQuickSecurityMonotone: adding secure ASes can never shrink the
@@ -97,10 +202,10 @@ func TestQuickSecurityMonotone(t *testing.T) {
 		for d := int32(0); d < int32(g.N()); d++ {
 			s := w.ComputeStatic(d)
 			t1.Clear(g.N())
-			w.ResolveInto(&t1, s, sec, brk, nil, tb)
+			w.ResolveInto(&t1, s, sec, brk, nil, nil, tb)
 			c1 := countSecure(&t1, s)
 			t2.Clear(g.N())
-			w.ResolveInto(&t2, s, sec2, brk, nil, tb)
+			w.ResolveInto(&t2, s, sec2, brk, nil, nil, tb)
 			c2 := countSecure(&t2, s)
 			if c2 < c1 {
 				t.Logf("seed %d dest %d: secure count dropped %d -> %d after adding deployers", seed, d, c1, c2)

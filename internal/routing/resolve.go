@@ -29,6 +29,18 @@ func (t *Tree) Clear(n int) {
 	}
 }
 
+// CopyFrom makes t an entry-for-entry copy of src, allocating only if t
+// is smaller than src.
+func (t *Tree) CopyFrom(src *Tree) {
+	t.Dest = src.Dest
+	if len(t.Parent) < len(src.Parent) {
+		t.Parent = make([]int32, len(src.Parent))
+		t.Secure = make([]bool, len(src.Parent))
+	}
+	copy(t.Parent, src.Parent)
+	copy(t.Secure, src.Secure)
+}
+
 // SecureState is the per-node security information Resolve needs:
 // which ASes have deployed S*BGP (including simplex stubs) and which of
 // them apply the SecP tie-break step when selecting routes (per Section
@@ -51,7 +63,7 @@ type SecureState interface {
 func (w *Workspace) Resolve(s *Static, st SecureState, tb Tiebreaker) *Tree {
 	w.materialize(st)
 	w.tree.Clear(w.g.N())
-	w.ResolveInto(&w.tree, s, w.secScratch, w.brkScratch, nil, tb)
+	w.ResolveInto(&w.tree, s, w.secScratch, w.brkScratch, nil, nil, tb)
 	return &w.tree
 }
 
@@ -76,8 +88,13 @@ func (w *Workspace) materialize(st SecureState) {
 // deployment flag treated as inverted, which realizes the projected
 // state (¬S_n, S_-n) of the paper's update rule — including variants
 // that bundle an ISP's simplex stub upgrades into its action — without
-// copying the state. A node flipped ON breaks ties; one flipped OFF
-// does not.
+// copying the state.
+//
+// flipBreaks gives the SecP tie-break policy of nodes flipped ON: such a
+// node breaks ties iff flipBreaks is nil or flipBreaks[i]. This is how
+// projected simplex stubs honor Config.StubsBreakTies — the realized
+// state would set breaks[i] = stubsBreakTies for them, and the
+// projection must agree. A node flipped OFF never breaks ties.
 //
 // Only entries for the destination and reachable nodes are written: the
 // tree must have been Cleared when this destination was first resolved
@@ -85,7 +102,7 @@ func (w *Workspace) materialize(st SecureState) {
 //
 // When the static info carries precomputed tiebreak winners
 // (PrepareDest), the state-independent TB step costs O(1) per node.
-func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipped []bool, tb Tiebreaker) {
+func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker) {
 	t.Dest = s.Dest
 	if len(t.Parent) < w.g.N() {
 		t.Clear(w.g.N())
@@ -97,63 +114,142 @@ func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipp
 	t.Parent[s.Dest] = -1
 	t.Secure[s.Dest] = dSec
 
-	win := s.win
-	for _, i := range s.order {
-		cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
-		if len(cands) == 0 {
-			// Defensive: static construction guarantees non-empty
-			// tiebreak sets for reachable non-destination nodes.
+	w.resolveRange(t, nil, s, secure, breaks, flipped, flipBreaks, tb, 0)
+}
+
+// ResolveSuffixInto resolves the projected tree for a flip set by reusing
+// an already-resolved base tree. Node decisions in the static
+// ascending-length order depend only on the node's own state and on the
+// secure flags of strictly shorter nodes, so no decision strictly before
+// the flip set's earliest order position can differ from the base tree:
+// that prefix is copied verbatim and only the suffix is re-resolved,
+// producing a tree bit-identical to a full ResolveInto with the same
+// arguments (and hence identical downstream float summation).
+//
+// base must have been resolved with ResolveInto(base, s, secure, breaks,
+// nil, nil, tb) against the same static info and state. flipList must
+// list exactly the nodes marked in flipped.
+//
+// It returns the number of order positions copied from the base tree
+// (0 when the destination itself flips, len(s.Order()) when no
+// reachable node flips), and whether any parent differs from the base
+// tree. When sameParents is true the two trees route identically —
+// every traffic accumulation over them is bit-equal — even though
+// Secure flags may differ.
+func (w *Workspace) ResolveSuffixInto(t, base *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, flipList []int32, tb Tiebreaker) (copied int, sameParents bool) {
+	start := len(s.order)
+	for _, f := range flipList {
+		if f == s.Dest {
+			start = 0
+			break
+		}
+		if p := s.pos[f]; p >= 0 && int(p) < start {
+			start = int(p)
+		}
+	}
+	t.Dest = s.Dest
+	if len(t.Parent) < w.g.N() {
+		t.Clear(w.g.N())
+	}
+	dSec := secure[s.Dest]
+	if flipped != nil && flipped[s.Dest] {
+		dSec = !dSec
+	}
+	t.Parent[s.Dest] = -1
+	t.Secure[s.Dest] = dSec
+	order := s.order
+	for k := 0; k < start; k++ {
+		i := order[k]
+		t.Parent[i] = base.Parent[i]
+		t.Secure[i] = base.Secure[i]
+	}
+	changed := w.resolveRange(t, base, s, secure, breaks, flipped, flipBreaks, tb, start)
+	return start, !changed
+}
+
+// resolveRange runs the per-node resolution loop of the fast routing
+// tree algorithm over order positions [from, len(order)). Both
+// ResolveInto (from 0, no base) and ResolveSuffixInto (from the flip
+// set's earliest position) funnel through it, keeping the decision
+// logic — and therefore bit-identical results — in one place.
+//
+// When base is non-nil, it reports whether any written parent differs
+// from base.Parent.
+func (w *Workspace) resolveRange(t, base *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker, from int) (parentsChanged bool) {
+	order := s.order
+	for k := from; k < len(order); k++ {
+		i := order[k]
+		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+		if !ok {
 			continue
 		}
-		iSecure, iBreaks := secure[i], breaks[i]
-		if flipped != nil && flipped[i] {
-			iSecure = !iSecure
-			iBreaks = iSecure // flipped ON breaks ties; flipped OFF cannot
+		t.Parent[i] = p
+		t.Secure[i] = sec
+		if base != nil && base.Parent[i] != p {
+			parentsChanged = true
 		}
-		if iSecure && iBreaks {
-			// SecP: restrict to candidates offering fully-secure paths,
-			// if any exist. Tiebreak sets are overwhelmingly singletons
-			// (paper Fig. 10: mean 1.18), so that case is special-cased.
-			if len(cands) == 1 {
-				if b := cands[0]; t.Secure[b] {
-					t.Parent[i] = b
-					t.Secure[i] = true
-					continue
-				}
-			} else {
-				best := int32(-1)
-				for _, b := range cands {
-					if t.Secure[b] && (best == -1 || tb.Less(i, b, best)) {
-						best = b
-					}
-				}
-				if best >= 0 {
-					t.Parent[i] = best
-					t.Secure[i] = true
-					continue
-				}
+	}
+	return parentsChanged
+}
+
+// decideNode runs the SecP and TB selection steps for node i against a
+// tree whose entries for all strictly-shorter nodes are final. It is the
+// single decision procedure shared by resolveRange (full and suffix
+// resolution) and ApplyFlips (change propagation), which is what makes
+// the incremental strategies bit-identical to a full resolution by
+// construction. ok is false for nodes with an empty tiebreak set
+// (defensive: static construction guarantees non-empty sets for
+// reachable non-destination nodes).
+func decideNode(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker, i int32) (parent int32, sec, ok bool) {
+	cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
+	if len(cands) == 0 {
+		return -1, false, false
+	}
+	iSecure, iBreaks := secure[i], breaks[i]
+	if flipped != nil && flipped[i] {
+		iSecure = !iSecure
+		// Flipped ON: tie-break policy given by flipBreaks (nil
+		// means break ties). Flipped OFF never breaks ties.
+		iBreaks = iSecure && (flipBreaks == nil || flipBreaks[i])
+	}
+	if iSecure && iBreaks {
+		// SecP: restrict to candidates offering fully-secure paths,
+		// if any exist. Tiebreak sets are overwhelmingly singletons
+		// (paper Fig. 10: mean 1.18), so that case is special-cased.
+		if len(cands) == 1 {
+			if b := cands[0]; t.Secure[b] {
+				return b, true, true
 			}
-		}
-		// Plain tie-break among all candidates: state-independent, so use
-		// the precomputed winner when available.
-		var best int32
-		switch {
-		case win != nil:
-			best = win[i]
-		case len(cands) == 1:
-			best = cands[0]
-		default:
-			best = cands[0]
-			for _, b := range cands[1:] {
-				if tb.Less(i, b, best) {
+		} else {
+			best := int32(-1)
+			for _, b := range cands {
+				if t.Secure[b] && (best == -1 || tb.Less(i, b, best)) {
 					best = b
 				}
 			}
+			if best >= 0 {
+				return best, true, true
+			}
 		}
-		t.Parent[i] = best
-		// Without SecP the path may still happen to be secure.
-		t.Secure[i] = iSecure && t.Secure[best]
 	}
+	// Plain tie-break among all candidates: state-independent, so use
+	// the precomputed winner when available.
+	var best int32
+	switch {
+	case s.win != nil:
+		best = s.win[i]
+	case len(cands) == 1:
+		best = cands[0]
+	default:
+		best = cands[0]
+		for _, b := range cands[1:] {
+			if tb.Less(i, b, best) {
+				best = b
+			}
+		}
+	}
+	// Without SecP the path may still happen to be secure.
+	return best, iSecure && t.Secure[best], true
 }
 
 // PathTo reconstructs node i's AS path to the tree's destination as a

@@ -76,6 +76,10 @@ type Static struct {
 	// order lists all reachable nodes except the destination in
 	// ascending Len, the processing order for Resolve.
 	order []int32
+	// pos[i] is node i's index in order (-1 for the destination and
+	// unreachable nodes), used by ResolveSuffixInto to locate the
+	// earliest position a flip set can influence.
+	pos []int32
 	// win, when non-nil, holds the state-independent tiebreak winner of
 	// every reachable node's tiebreak set (filled by PrepareDest).
 	win []int32
@@ -90,6 +94,10 @@ func (s *Static) Tiebreak(i int32) []int32 {
 // Order returns all reachable nodes except the destination in ascending
 // best-route length. The slice aliases internal storage.
 func (s *Static) Order() []int32 { return s.order }
+
+// Pos returns node i's index in Order(), or -1 for the destination and
+// unreachable nodes.
+func (s *Static) Pos(i int32) int32 { return s.pos[i] }
 
 // Workspace holds reusable scratch buffers so that per-destination
 // computations do not allocate. A Workspace may be used by one goroutine
@@ -108,6 +116,15 @@ type Workspace struct {
 	secScratch []bool
 	brkScratch []bool
 	winBuf     []int32
+
+	// scratch for delta resolution (PrepareDelta / ApplyFlips):
+	// dependents index in CSR form plus propagation heap and undo log.
+	revOff []int32
+	revCur []int32
+	revAdj []int32
+	inHeap []bool
+	heap   []int32
+	undo   []undoEntry
 }
 
 // NewWorkspace returns a Workspace sized for graph g.
@@ -120,6 +137,7 @@ func NewWorkspace(g *asgraph.Graph) *Workspace {
 		tbOff: make([]int32, n+1),
 		tbAdj: make([]int32, 0, 4*n),
 		order: make([]int32, 0, n),
+		pos:   make([]int32, n),
 	}
 	w.queue = make([]int32, 0, n)
 	w.tree = Tree{
@@ -256,6 +274,12 @@ func (w *Workspace) ComputeStatic(d int32) *Static {
 	}
 	for l := 1; l < len(w.buckets); l++ {
 		s.order = append(s.order, w.buckets[l]...)
+	}
+	for i := int32(0); i < n; i++ {
+		s.pos[i] = -1
+	}
+	for k, i := range s.order {
+		s.pos[i] = int32(k)
 	}
 
 	s.tbOff[0] = 0

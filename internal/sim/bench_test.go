@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+// Round benchmarks measure one call of the per-round utility engine
+// (computeRound) in isolation: base utilities for every ISP plus, for
+// the candidate benchmarks, a projected utility per candidate that
+// survives the C.4 skip rules. They run on the paper-calibrated
+// synthetic topology at two sizes, from the post-seeding state (early
+// adopters plus their simplex stubs) that round 1 of a real run sees.
+//
+//	go test ./internal/sim -bench 'Round' -benchmem
+
+func benchSim(b *testing.B, n int, model UtilityModel) (*Sim, *deployState) {
+	b.Helper()
+	g := topogen.MustGenerate(topogen.Default(n, 42))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 5, asgraph.ISP)...)
+	cfg := Config{
+		Model:          model,
+		Theta:          0.05,
+		EarlyAdopters:  adopters,
+		StubsBreakTies: true,
+	}
+	s := MustNew(g, cfg)
+	st := newDeployState(g.N())
+	for _, a := range adopters {
+		st.set(g, a, cfg.StubsBreakTies)
+	}
+	for _, a := range adopters {
+		if g.IsISP(a) {
+			for _, c := range g.Customers(a) {
+				if g.IsStub(c) {
+					st.set(g, c, cfg.StubsBreakTies)
+				}
+			}
+		}
+	}
+	return s, st
+}
+
+func benchComputeRound(b *testing.B, n int, model UtilityModel, projected bool) {
+	b.Helper()
+	s, st := benchSim(b, n, model)
+	var candidates []bool
+	if projected {
+		candidates = s.candidates(st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.computeRound(st, candidates)
+	}
+}
+
+// Base-only rounds: one resolution per destination, no projections
+// (what Utilities and the pristine-state pass cost).
+func BenchmarkRoundBaseOnly1000(b *testing.B) { benchComputeRound(b, 1000, Outgoing, false) }
+func BenchmarkRoundBaseOnly2500(b *testing.B) { benchComputeRound(b, 2500, Outgoing, false) }
+
+// Outgoing rounds: candidates are the insecure ISPs.
+func BenchmarkRoundOutgoing1000(b *testing.B) { benchComputeRound(b, 1000, Outgoing, true) }
+func BenchmarkRoundOutgoing2500(b *testing.B) { benchComputeRound(b, 2500, Outgoing, true) }
+
+// Incoming rounds: every ISP is a candidate (secure ISPs may turn off),
+// the costliest per-round workload.
+func BenchmarkRoundIncoming1000(b *testing.B) { benchComputeRound(b, 1000, Incoming, true) }
+func BenchmarkRoundIncoming2500(b *testing.B) { benchComputeRound(b, 2500, Incoming, true) }

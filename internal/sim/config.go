@@ -116,6 +116,13 @@ type Config struct {
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.
 	RecordUtilities bool
+
+	// RecordStats, when true, attaches a RoundStats to every Round:
+	// wall time, resolutions performed versus skipped by each Appendix
+	// C.4 rule, suffix-copy savings, and bytes allocated. The counters
+	// themselves are always maintained; this flag only adds the two
+	// runtime.ReadMemStats calls and the per-round record.
+	RecordStats bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+// decisions reduces a Result to its decision-level content: which ISPs
+// flipped in each round, which stubs were upgraded, the per-round
+// counts, and the final state. Raw utilities are deliberately excluded —
+// the per-worker float summation order differs across worker counts by
+// design (only a fixed Config.Workers is bitwise deterministic), and
+// decisionEpsilon absorbs that ulp-level noise.
+type decisions struct {
+	Rounds      []roundDecisions
+	FinalSecure []bool
+	Final       Counts
+	Stable      bool
+	Oscillated  bool
+}
+
+type roundDecisions struct {
+	Deployed        []int32
+	Disabled        []int32
+	NewSimplexStubs []int32
+	After           Counts
+}
+
+func decisionsOf(res *Result) decisions {
+	d := decisions{
+		FinalSecure: res.FinalSecure,
+		Final:       res.Final,
+		Stable:      res.Stable,
+		Oscillated:  res.Oscillated,
+	}
+	for _, rd := range res.Rounds {
+		d.Rounds = append(d.Rounds, roundDecisions{
+			Deployed:        rd.Deployed,
+			Disabled:        rd.Disabled,
+			NewSimplexStubs: rd.NewSimplexStubs,
+			After:           rd.After,
+		})
+	}
+	return d
+}
+
+// TestRunDeterministicAcrossWorkers: the worker-striped destination
+// split and the worker-ordered merge must not leak into simulation
+// outcomes — a run's decisions are identical for any worker pool size,
+// and repeated runs with the same pool size are identical outright.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(400, 7))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, model := range []UtilityModel{Outgoing, Incoming} {
+		var ref *decisions
+		var refWorkers int
+		for _, nw := range workerCounts {
+			cfg := Config{
+				Model:          model,
+				Theta:          0.05,
+				EarlyAdopters:  adopters,
+				StubsBreakTies: true,
+				Workers:        nw,
+			}
+			got := decisionsOf(MustNew(g, cfg).Run())
+			again := decisionsOf(MustNew(g, cfg).Run())
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("%v model, %d workers: two identical runs disagree", model, nw)
+			}
+			if ref == nil {
+				r := got
+				ref, refWorkers = &r, nw
+				continue
+			}
+			if !reflect.DeepEqual(*ref, got) {
+				t.Errorf("%v model: decisions with %d workers differ from %d workers",
+					model, nw, refWorkers)
+			}
+		}
+	}
+}

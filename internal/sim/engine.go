@@ -4,17 +4,32 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
+	"time"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/routing"
 )
 
-// Sim runs the S*BGP deployment game over one graph.
+// Sim runs the S*BGP deployment game over one graph. The worker pool
+// and all round-computation buffers are allocated once and reused for
+// every round (and across Runs), so steady-state rounds allocate
+// nothing; consequently a Sim may be used by only one goroutine at a
+// time.
 type Sim struct {
 	g     *asgraph.Graph
 	cfg   Config
 	theta []float64 // per-node deployment threshold
+
+	// Persistent round-computation state.
+	weights  []float64
+	pool     []*worker
+	uBase    []float64
+	uProj    []float64
+	candList []int32
+	candBuf  []bool
+	scratch  *deployState // state builder for RoundUtilities
 }
 
 // New validates the configuration against the graph and returns a
@@ -37,6 +52,25 @@ func New(g *asgraph.Graph, cfg Config) (*Sim, error) {
 	}
 	s := &Sim{g: g, cfg: cfg}
 	s.theta = s.nodeThetas()
+
+	n := g.N()
+	nw := cfg.Workers
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	s.weights = make([]float64, n)
+	for i := int32(0); i < int32(n); i++ {
+		s.weights[i] = g.Weight(i)
+	}
+	s.pool = make([]*worker, nw)
+	for w := range s.pool {
+		s.pool[w] = newWorker(g, n)
+	}
+	s.uBase = make([]float64, n)
+	s.uProj = make([]float64, n)
 	return s, nil
 }
 
@@ -86,7 +120,7 @@ func (s *Sim) Run() *Result {
 	// Starting utilities: the all-insecure world before any deployment,
 	// the baseline the paper normalizes utility trajectories by.
 	pristine := newDeployState(n)
-	prBase, _ := s.computeRound(pristine, nil)
+	prBase, _, _ := s.computeRound(pristine, nil)
 	for i := range res.PristineUtil {
 		if g.IsISP(int32(i)) {
 			res.PristineUtil[i] = prBase[i]
@@ -130,9 +164,10 @@ func (s *Sim) Run() *Result {
 
 	for round := 0; round < cfg.MaxRounds; round++ {
 		candidates := s.candidates(st)
-		uBase, uProj := s.computeRound(st, candidates)
+		uBase, uProj, stats := s.computeRound(st, candidates)
 
 		var rd Round
+		rd.Stats = stats
 		if cfg.RecordUtilities {
 			rd.UtilBase = make([]float64, n)
 			rd.UtilProj = make([]float64, n)
@@ -211,17 +246,16 @@ func (s *Sim) Run() *Result {
 
 // candidates returns which nodes may flip this round: insecure ISPs
 // always; secure ISPs only under incoming utility (Theorem 6.2 rules out
-// turn-off incentives under outgoing utility).
+// turn-off incentives under outgoing utility). The returned slice is
+// owned by the Sim and overwritten by the next call.
 func (s *Sim) candidates(st *deployState) []bool {
 	g := s.g
-	out := make([]bool, g.N())
+	if s.candBuf == nil {
+		s.candBuf = make([]bool, g.N())
+	}
+	out := s.candBuf
 	for i := int32(0); i < int32(g.N()); i++ {
-		if !g.IsISP(i) {
-			continue
-		}
-		if !st.secure[i] || s.cfg.Model == Incoming {
-			out[i] = true
-		}
+		out[i] = g.IsISP(i) && (!st.secure[i] || s.cfg.Model == Incoming)
 	}
 	return out
 }
@@ -234,13 +268,26 @@ func (s *Sim) candidates(st *deployState) []bool {
 // across destinations, one static computation per destination, one
 // resolution for the base state, and one resolution per surviving
 // candidate after the C.4 skip rules.
-func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []float64) {
-	g, cfg := s.g, s.cfg
-	n := g.N()
-	uBase = make([]float64, n)
-	uProj = make([]float64, n)
+func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []float64, stats *RoundStats) {
+	cfg := s.cfg
+	n := s.g.N()
 
-	var candList []int32
+	var memBefore uint64
+	var started time.Time
+	if cfg.RecordStats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		memBefore = m.TotalAlloc
+		started = time.Now()
+	}
+
+	uBase, uProj = s.uBase, s.uProj
+	for i := 0; i < n; i++ {
+		uBase[i] = 0
+		uProj[i] = 0
+	}
+
+	candList := s.candList[:0]
 	if candidates != nil {
 		for i := int32(0); i < int32(n); i++ {
 			if candidates[i] {
@@ -248,39 +295,27 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			}
 		}
 	}
-
-	nw := cfg.Workers
-	if nw > n {
-		nw = n
-	}
-	if nw < 1 {
-		nw = 1
-	}
-
-	weights := make([]float64, n)
-	for i := int32(0); i < int32(n); i++ {
-		weights[i] = g.Weight(i)
-	}
+	s.candList = candList
 
 	// Destinations are striped statically (worker w handles d ≡ w mod nw)
 	// and the per-worker partial sums are merged in worker order, so the
 	// floating-point summation order — and therefore every simulation
 	// outcome — is deterministic for a fixed Config.Workers.
-	workers := make([]*worker, nw)
+	nw := len(s.pool)
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
 		go func(w int) {
 			defer wg.Done()
-			wk := newWorker(g, n)
-			workers[w] = wk
+			wk := s.pool[w]
+			wk.resetRound(n)
 			for d := int32(w); int(d) < n; d += int32(nw) {
-				wk.processDest(d, st, candList, cfg, weights)
+				wk.processDest(d, st, candList, cfg, s.weights)
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, wk := range workers {
+	for _, wk := range s.pool {
 		for i := 0; i < n; i++ {
 			uBase[i] += wk.uBase[i]
 			uProj[i] += wk.uDelta[i]
@@ -291,11 +326,35 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 	for i := 0; i < n; i++ {
 		uProj[i] += uBase[i]
 	}
-	return uBase, uProj
+
+	if cfg.RecordStats {
+		stats = &RoundStats{
+			Wall:         time.Since(started),
+			Destinations: n,
+			Candidates:   len(candList),
+		}
+		for _, wk := range s.pool {
+			stats.BaseResolutions += wk.stats.baseResolutions
+			stats.ProjResolutions += wk.stats.projResolutions
+			stats.ProjUnchanged += wk.stats.projUnchanged
+			stats.SkipZeroUtil += wk.stats.skipZeroUtil
+			stats.SkipInsecureDest += wk.stats.skipInsecureDest
+			stats.SkipDestFlip += wk.stats.skipDestFlip
+			stats.SkipTurnOff += wk.stats.skipTurnOff
+			stats.SkipTurnOn += wk.stats.skipTurnOn
+			stats.NodesReused += wk.stats.nodesReused
+			stats.NodesRecomputed += wk.stats.nodesRecomputed
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		stats.AllocBytes = m.TotalAlloc - memBefore
+	}
+	return uBase, uProj, stats
 }
 
 // worker holds all per-goroutine scratch state so that destination
-// processing allocates nothing.
+// processing allocates nothing. Workers live in the Sim's pool and are
+// reused across rounds; resetRound rezeroes the per-round accumulators.
 type worker struct {
 	ws          *routing.Workspace
 	baseTree    routing.Tree
@@ -307,20 +366,52 @@ type worker struct {
 	uBase       []float64
 	uDelta      []float64
 	flipMark    []bool
+	flipBreaks  []bool
 	flipScratch []int32
+	provParent  []bool
+	stats       workerStats
+}
+
+// workerStats counts this worker's share of the round's resolution work;
+// merged into a RoundStats after the round when Config.RecordStats is
+// set. The counters are plain increments on worker-private state, cheap
+// enough to maintain unconditionally.
+type workerStats struct {
+	baseResolutions  int64
+	projResolutions  int64
+	projUnchanged    int64
+	skipZeroUtil     int64
+	skipInsecureDest int64
+	skipDestFlip     int64
+	skipTurnOff      int64
+	skipTurnOn       int64
+	nodesReused      int64
+	nodesRecomputed  int64
 }
 
 func newWorker(g *asgraph.Graph, n int) *worker {
 	return &worker{
-		ws:       routing.NewWorkspace(g),
-		accBase:  make([]float64, n),
-		incBase:  make([]float64, n),
-		accProj:  make([]float64, n),
-		incProj:  make([]float64, n),
-		uBase:    make([]float64, n),
-		uDelta:   make([]float64, n),
-		flipMark: make([]bool, n),
+		ws:         routing.NewWorkspace(g),
+		accBase:    make([]float64, n),
+		incBase:    make([]float64, n),
+		accProj:    make([]float64, n),
+		incProj:    make([]float64, n),
+		uBase:      make([]float64, n),
+		uDelta:     make([]float64, n),
+		flipMark:   make([]bool, n),
+		flipBreaks: make([]bool, n),
+		provParent: make([]bool, n),
 	}
+}
+
+// resetRound clears the accumulators a pooled worker carries over from
+// the previous round.
+func (wk *worker) resetRound(n int) {
+	for i := 0; i < n; i++ {
+		wk.uBase[i] = 0
+		wk.uDelta[i] = 0
+	}
+	wk.stats = workerStats{}
 }
 
 // processDest handles one destination: base utilities for every ISP and
@@ -329,8 +420,8 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 	g := wk.ws.Graph()
 	stc := wk.ws.PrepareDest(d, cfg.Tiebreaker)
 	wk.baseTree.Clear(g.N())
-	wk.projTree.Clear(g.N())
-	wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, cfg.Tiebreaker)
+	wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
+	wk.stats.baseResolutions++
 	accumulate(stc, &wk.baseTree, weights, wk.accBase, wk.incBase)
 
 	// Base utility contributions.
@@ -354,34 +445,103 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 		}
 	}
 
+	if cfg.Model == Incoming {
+		wk.markProviderParents(stc)
+	}
+
+	// The dependents index and the base-tree copy that change propagation
+	// works on are built lazily, only if some candidate survives the skip
+	// rules for this destination.
+	deltaReady := false
+
 	for _, c := range candList {
+		// Zero-utility skip: a candidate whose utility contribution for
+		// this destination is identically zero in every deployment state
+		// cannot see a delta, so the pair needs no resolution at all.
+		// Outgoing (Eq. 1) pays c only when its best-route class is
+		// customer — a state-independent property (Observation C.1).
+		// Incoming (Eq. 2) pays c only via customers entering over
+		// provider-class routes, which requires some provider-route node
+		// to list c among its equally-good next hops.
+		if cfg.Model == Outgoing {
+			if stc.Type[c] != routing.CustomerRoute {
+				wk.stats.skipZeroUtil++
+				continue
+			}
+		} else if !wk.provParent[c] {
+			wk.stats.skipZeroUtil++
+			continue
+		}
 		flips := wk.flipSetFor(st, cfg, c)
 		if !wk.flipCanChangeTree(stc, st, cfg, c, d, flips, anySecurePath) {
 			wk.clearFlips(flips)
 			continue
 		}
-		wk.ws.ResolveInto(&wk.projTree, stc, st.secure, st.breaks, wk.flipMark, cfg.Tiebreaker)
+		if !deltaReady {
+			wk.ws.PrepareDelta(stc)
+			wk.projTree.CopyFrom(&wk.baseTree)
+			deltaReady = true
+		}
+		parentsChanged, touched := wk.ws.ApplyFlips(&wk.projTree, stc,
+			st.secure, st.breaks, wk.flipMark, wk.flipBreaks, flips, cfg.Tiebreaker)
 		wk.clearFlips(flips)
+		wk.stats.projResolutions++
+		wk.stats.nodesRecomputed += int64(touched)
+		wk.stats.nodesReused += int64(len(stc.Order()) - touched)
+		if !parentsChanged {
+			// The projected tree routes identically to the base tree
+			// (only Secure flags differ), so every traffic accumulation
+			// over it is bit-equal to the base one: the utility delta is
+			// exactly zero and the accumulation pass can be skipped.
+			wk.stats.projUnchanged++
+			wk.ws.RevertFlips(&wk.projTree)
+			continue
+		}
 		accumulate(stc, &wk.projTree, weights, wk.accProj, wk.incProj)
 		projC := wk.contribution(cfg.Model, stc, wk.accProj, wk.incProj, weights, c)
 		baseC := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
 		wk.uDelta[c] += projC - baseC
+		wk.ws.RevertFlips(&wk.projTree)
+	}
+}
+
+// markProviderParents fills wk.provParent[b] = true iff some node with a
+// provider-class best route lists b in its tiebreak set. Parents are
+// always drawn from tiebreak sets, so in every deployment state a node
+// not marked here receives no traffic over customer edges for this
+// destination: its incoming utility contribution (Eq. 2) is identically
+// zero.
+func (wk *worker) markProviderParents(stc *routing.Static) {
+	for i := range wk.provParent {
+		wk.provParent[i] = false
+	}
+	for _, i := range stc.Order() {
+		if stc.Type[i] == routing.ProviderRoute {
+			for _, b := range stc.Tiebreak(i) {
+				wk.provParent[b] = true
+			}
+		}
 	}
 }
 
 // flipSetFor marks candidate c's projected flip set in wk.flipMark and
 // returns the marked nodes: c itself, plus — under ProjectStubUpgrades,
-// when c is deploying — c's insecure stub customers.
+// when c is deploying — c's insecure stub customers. wk.flipBreaks gets
+// the tie-break policy each member would have in the realized flipped
+// state: ISPs always break ties once secure, stubs only under
+// StubsBreakTies (mirroring deployState.set).
 func (wk *worker) flipSetFor(st *deployState, cfg Config, c int32) []int32 {
 	g := wk.ws.Graph()
 	wk.flipScratch = wk.flipScratch[:0]
 	wk.flipScratch = append(wk.flipScratch, c)
 	wk.flipMark[c] = true
+	wk.flipBreaks[c] = !g.IsStub(c) || cfg.StubsBreakTies
 	if cfg.ProjectStubUpgrades && !st.secure[c] {
 		for _, s := range g.Customers(c) {
 			if g.IsStub(s) && !st.secure[s] {
 				wk.flipScratch = append(wk.flipScratch, s)
 				wk.flipMark[s] = true
+				wk.flipBreaks[s] = cfg.StubsBreakTies
 			}
 		}
 	}
@@ -404,20 +564,26 @@ func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Co
 		// The destination itself flips (c == d, or d is one of c's stubs
 		// under ProjectStubUpgrades): whether any path to d can be
 		// secure changes.
-		if st.secure[d] {
-			return anySecurePath
+		if st.secure[d] && !anySecurePath {
+			wk.stats.skipDestFlip++
+			return false
 		}
 		return true
 	}
 	if !st.secure[d] {
 		// Insecure destination that stays insecure: no path to d is ever
 		// secure, and flipping cannot change that. (C.4 rule 1.)
+		wk.stats.skipInsecureDest++
 		return false
 	}
 	if st.secure[c] {
 		// Turning c off matters only if c currently has a fully secure
 		// path (then c's own choice, or paths through c, may change).
-		return wk.baseTree.Secure[c]
+		if !wk.baseTree.Secure[c] {
+			wk.stats.skipTurnOff++
+			return false
+		}
+		return true
 	}
 	// Turning c on matters only if c could then offer a secure path,
 	// i.e. some member of its tiebreak set has one (C.4 rule 3) — or,
@@ -442,6 +608,7 @@ func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Co
 			}
 		}
 	}
+	wk.stats.skipTurnOn++
 	return false
 }
 

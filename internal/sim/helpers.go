@@ -45,8 +45,40 @@ func Utilities(g *asgraph.Graph, secure []bool, cfg Config) ([]float64, error) {
 		return nil, fmt.Errorf("sim: secure bitmap has %d entries for %d ASes", len(secure), g.N())
 	}
 	st := stateFrom(g, secure, s.cfg.StubsBreakTies)
-	uBase, _ := s.computeRound(st, nil)
-	return uBase, nil
+	uBase, _, _ := s.computeRound(st, nil)
+	return append([]float64(nil), uBase...), nil
+}
+
+// RoundUtilities computes one round of the utility engine in an
+// arbitrary state: every ISP's base utility and — when projected is set
+// — the projected utility of every candidate under the configured
+// model's candidate rule (uProj[i] = uBase[i] for non-candidates).
+// stats is non-nil only when Config.RecordStats is set.
+//
+// The returned slices are owned by the Sim and overwritten by its next
+// round computation; like all Sim methods it must not be called
+// concurrently.
+func (s *Sim) RoundUtilities(secure []bool, projected bool) (uBase, uProj []float64, stats *RoundStats, err error) {
+	if len(secure) != s.g.N() {
+		return nil, nil, nil, fmt.Errorf("sim: secure bitmap has %d entries for %d ASes", len(secure), s.g.N())
+	}
+	if s.scratch == nil {
+		s.scratch = newDeployState(s.g.N())
+	}
+	st := s.scratch
+	for i, sec := range secure {
+		if sec {
+			st.set(s.g, int32(i), s.cfg.StubsBreakTies)
+		} else {
+			st.unset(int32(i))
+		}
+	}
+	var cand []bool
+	if projected {
+		cand = s.candidates(st)
+	}
+	uBase, uProj, stats = s.computeRound(st, cand)
+	return uBase, uProj, stats, nil
 }
 
 // EvaluateFlip returns ISP n's utility in the given state and its
@@ -66,7 +98,7 @@ func EvaluateFlip(g *asgraph.Graph, secure []bool, cfg Config, n int32) (base, p
 	st := stateFrom(g, secure, s.cfg.StubsBreakTies)
 	cand := make([]bool, g.N())
 	cand[n] = true
-	uBase, uProj := s.computeRound(st, cand)
+	uBase, uProj, _ := s.computeRound(st, cand)
 	return uBase[n], uProj[n], nil
 }
 
@@ -99,7 +131,7 @@ func EvaluateFlipPerDest(g *asgraph.Graph, secure []bool, cfg Config, n int32) (
 		stc := wk.ws.PrepareDest(d, cfg.Tiebreaker)
 		wk.baseTree.Clear(nn)
 		wk.projTree.Clear(nn)
-		wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, cfg.Tiebreaker)
+		wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
 		accumulate(stc, &wk.baseTree, weights, wk.accBase, wk.incBase)
 		base[d] = wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, n)
 
@@ -116,7 +148,8 @@ func EvaluateFlipPerDest(g *asgraph.Graph, secure []bool, cfg Config, n int32) (
 			proj[d] = base[d]
 			continue
 		}
-		wk.ws.ResolveInto(&wk.projTree, stc, st.secure, st.breaks, wk.flipMark, cfg.Tiebreaker)
+		wk.ws.ResolveSuffixInto(&wk.projTree, &wk.baseTree, stc,
+			st.secure, st.breaks, wk.flipMark, wk.flipBreaks, flips, cfg.Tiebreaker)
 		wk.clearFlips(flips)
 		accumulate(stc, &wk.projTree, weights, wk.accProj, wk.incProj)
 		proj[d] = wk.contribution(cfg.Model, stc, wk.accProj, wk.incProj, weights, n)

@@ -45,6 +45,70 @@ func TestProjectStubUpgradesBootstrap(t *testing.T) {
 	}
 }
 
+// TestProjectedStubTieBreakHonorsConfig pins the tie-break semantics of
+// projected simplex stubs: a stub flipped on as part of its provider's
+// bundled action must apply the SecP step exactly as the realized
+// flipped state would — only under StubsBreakTies. (Regression: the
+// engine used to make every flipped-on node break ties, inflating
+// projections under ProjectStubUpgrades && !StubsBreakTies.)
+//
+// Diamond T(1) → A(2), B(3) → stub s(4), state {T} secure, candidate B.
+// B's projection includes s as a simplex stub; toward destination T the
+// stub's tiebreak set is {A, B} with plain winner A, and only a
+// tie-breaking s reroutes onto the secure B — handing B the stub's
+// weight as incoming utility. The projection must match the realized
+// bundled state under both stub policies.
+func TestProjectedStubTieBreakHonorsConfig(t *testing.T) {
+	g := asgraph.NewBuilder().
+		AddCustomer(1, 2).AddCustomer(1, 3).
+		AddCustomer(2, 4).AddCustomer(3, 4).
+		SetWeight(1, 10).SetWeight(4, 3).
+		MustBuild()
+	iT, iB, iS := g.Index(1), g.Index(3), g.Index(4)
+
+	realized := func(stubsBreakTies bool) float64 {
+		cfg := Config{
+			Model:               Incoming,
+			StubsBreakTies:      stubsBreakTies,
+			ProjectStubUpgrades: true,
+			Tiebreaker:          routing.LowestIndex{},
+		}
+		flipped := make([]bool, g.N())
+		flipped[iT] = true
+		flipped[iB] = true
+		flipped[iS] = true
+		u, err := Utilities(g, flipped, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u[iB]
+	}
+	// The scenario must discriminate: the stub's tie-break policy has to
+	// change B's realized utility, or the test proves nothing.
+	if realized(true) == realized(false) {
+		t.Fatal("test topology does not discriminate stub tie-break policies")
+	}
+
+	for _, stubsBreakTies := range []bool{false, true} {
+		cfg := Config{
+			Model:               Incoming,
+			StubsBreakTies:      stubsBreakTies,
+			ProjectStubUpgrades: true,
+			Tiebreaker:          routing.LowestIndex{},
+		}
+		secure := make([]bool, g.N())
+		secure[iT] = true
+		_, proj, err := EvaluateFlip(g, secure, cfg, iB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := realized(stubsBreakTies); proj != want {
+			t.Errorf("StubsBreakTies=%v: projected utility %v != realized bundled-state utility %v",
+				stubsBreakTies, proj, want)
+		}
+	}
+}
+
 // TestProjectStubUpgradesProjectionConsistent: the skip rules under the
 // bundled-flip semantics must match a brute-force evaluation of the
 // bundled state.

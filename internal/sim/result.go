@@ -37,6 +37,9 @@ type Round struct {
 	// already-secure ISPs, which never want to flip by Theorem 6.2).
 	UtilBase []float64
 	UtilProj []float64
+	// Stats instruments this round's utility computation; nil unless
+	// Config.RecordStats is set.
+	Stats *RoundStats
 }
 
 // Result is the outcome of a deployment simulation.
@@ -72,8 +75,12 @@ type Result struct {
 // NumRounds returns how many rounds ran.
 func (r *Result) NumRounds() int { return len(r.Rounds) }
 
-// SecureFractionASes returns the final fraction of all ASes secure.
+// SecureFractionASes returns the final fraction of all ASes secure; 0
+// for an empty graph.
 func (r *Result) SecureFractionASes() float64 {
+	if len(r.FinalSecure) == 0 {
+		return 0
+	}
 	return float64(r.Final.SecureASes) / float64(len(r.FinalSecure))
 }
 

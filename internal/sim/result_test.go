@@ -57,6 +57,20 @@ func TestResultHelpers(t *testing.T) {
 	}
 }
 
+// TestSecureFractionsEmpty: the fraction helpers must return 0, not
+// NaN, for results with no ASes or no ISPs (empty graph, degenerate
+// topologies) so downstream aggregation and plotting never poison
+// averages.
+func TestSecureFractionsEmpty(t *testing.T) {
+	var r Result
+	if f := r.SecureFractionASes(); f != 0 {
+		t.Errorf("empty result: SecureFractionASes = %v, want 0", f)
+	}
+	if f := r.SecureFractionISPs(); f != 0 {
+		t.Errorf("empty result: SecureFractionISPs = %v, want 0", f)
+	}
+}
+
 func TestSnapshotHelpers(t *testing.T) {
 	st := newDeployState(130)
 	st.secure[0] = true

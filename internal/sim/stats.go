@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// RoundStats instruments one round of the utility engine. It is
+// recorded on Round (and returned by Sim.RoundUtilities) when
+// Config.RecordStats is set.
+//
+// Per round the engine performs one base routing-tree resolution per
+// destination plus, for every (destination, candidate) pair, either one
+// projected resolution or a skip by one of the Appendix C.4 rules:
+//
+//	BaseResolutions + for each pair: ProjResolutions or Skip*.
+//
+// Projected resolutions are incremental (routing.ApplyFlips): only
+// nodes whose decision inputs can have changed are re-decided
+// (NodesRecomputed); every other node's base-tree decision is provably
+// unchanged and reused (NodesReused).
+type RoundStats struct {
+	// Wall is the wall-clock time of the round's utility computation.
+	Wall time.Duration
+	// Destinations is the number of destinations processed (= N).
+	Destinations int
+	// Candidates is the number of candidate ISPs evaluated this round.
+	Candidates int
+	// BaseResolutions counts base-state routing tree resolutions (one
+	// per destination).
+	BaseResolutions int64
+	// ProjResolutions counts projected resolutions actually performed
+	// after the C.4 skip rules.
+	ProjResolutions int64
+	// ProjUnchanged counts projected resolutions whose tree routed
+	// identically to the base tree (only Secure flags differed), letting
+	// the engine skip the traffic accumulation pass: the utility delta
+	// is exactly zero.
+	ProjUnchanged int64
+	// SkipZeroUtil counts pairs skipped because the candidate's utility
+	// contribution for the destination is identically zero in every
+	// deployment state (outgoing: best-route class is not customer;
+	// incoming: no potential provider-route child), so the delta is
+	// exactly 0 without resolving.
+	SkipZeroUtil int64
+	// SkipInsecureDest counts pairs skipped because an insecure
+	// destination stays insecure (C.4 rule 1).
+	SkipInsecureDest int64
+	// SkipDestFlip counts pairs skipped because the destination itself
+	// flips but provably no tree change follows.
+	SkipDestFlip int64
+	// SkipTurnOff counts pairs skipped because the candidate would turn
+	// off without holding a fully-secure path (C.4 rule 2).
+	SkipTurnOff int64
+	// SkipTurnOn counts pairs skipped because the candidate would turn
+	// on with no secure next hop on offer (C.4 rule 3).
+	SkipTurnOn int64
+	// NodesReused and NodesRecomputed count node decisions reused from
+	// the base tree versus re-decided by change propagation, across all
+	// projected resolutions.
+	NodesReused     int64
+	NodesRecomputed int64
+	// AllocBytes is the heap allocated during the round (runtime
+	// TotalAlloc delta; includes the stats bookkeeping itself).
+	AllocBytes uint64
+}
+
+// Skipped returns the total candidate resolutions avoided by the skip
+// rules (zero-utility plus the C.4 family).
+func (st *RoundStats) Skipped() int64 {
+	return st.SkipZeroUtil + st.SkipInsecureDest + st.SkipDestFlip + st.SkipTurnOff + st.SkipTurnOn
+}
+
+// String renders a compact one-line digest.
+func (st *RoundStats) String() string {
+	pairs := st.ProjResolutions + st.Skipped()
+	resolvedPct := 0.0
+	if pairs > 0 {
+		resolvedPct = 100 * float64(st.ProjResolutions) / float64(pairs)
+	}
+	reusedPct := 0.0
+	if tot := st.NodesReused + st.NodesRecomputed; tot > 0 {
+		reusedPct = 100 * float64(st.NodesReused) / float64(tot)
+	}
+	return fmt.Sprintf(
+		"%v, %d dests, %d cands, proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
+		st.Wall.Round(time.Microsecond), st.Destinations, st.Candidates,
+		st.ProjResolutions, pairs, resolvedPct,
+		st.SkipZeroUtil, st.SkipInsecureDest, st.SkipDestFlip, st.SkipTurnOff, st.SkipTurnOn,
+		st.ProjUnchanged, reusedPct, st.AllocBytes)
+}

@@ -144,6 +144,18 @@ type Round = sim.Round
 // Counts tallies the secure population by AS class.
 type Counts = sim.Counts
 
+// RoundStats instruments one round of the utility engine (resolutions
+// performed, skip-rule hits, node decisions reused, wall time, heap
+// allocation); recorded on each Round when Config.RecordStats is set.
+type RoundStats = sim.RoundStats
+
+// Simulation is a reusable deployment simulator over one graph: its
+// worker pool and all round-computation buffers are allocated once, so
+// steady-state rounds allocate nothing. Use it instead of the Run /
+// Utilities helpers when evaluating many states over the same graph.
+// A Simulation may be used by only one goroutine at a time.
+type Simulation = sim.Sim
+
 // UtilityModel selects the ISP utility function.
 type UtilityModel = sim.UtilityModel
 
@@ -161,6 +173,12 @@ func Run(g *Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return s.Run(), nil
+}
+
+// NewSimulation validates the configuration against the graph and
+// returns a reusable Simulation (Run, RoundUtilities).
+func NewSimulation(g *Graph, cfg Config) (*Simulation, error) {
+	return sim.New(g, cfg)
 }
 
 // Utilities computes every ISP's utility in an arbitrary state.

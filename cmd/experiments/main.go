@@ -5,76 +5,122 @@
 //
 //	experiments -list
 //	experiments -run fig3 [-n 2000] [-seed 42] [-x 0.1] [-out results/]
-//	experiments -run all -out results/
+//	experiments -run all -out results/ -json
+//
+// With -out, completed experiments persist their reports plus a
+// content-keyed artifact cache under the directory, so rerunning the
+// same invocation resumes instead of recomputing: finished experiments
+// are skipped outright, and interrupted ones reuse every simulation
+// that already ran. -force reruns every experiment (still reusing
+// cached simulations); -parallel bounds how many experiments run
+// concurrently.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
+	"sync"
 	"time"
 
 	"sbgp/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		run     = flag.String("run", "", "experiment id to run, or 'all'")
-		n       = flag.Int("n", 1200, "synthetic graph size")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		x       = flag.Float64("x", 0.10, "CP traffic fraction")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		outDir  = flag.String("out", "", "directory for per-experiment result files (default stdout only)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		runID    = flag.String("run", "", "experiment id to run, or 'all'")
+		n        = flag.Int("n", 1200, "synthetic graph size")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		x        = flag.Float64("x", 0.10, "CP traffic fraction")
+		workers  = flag.Int("workers", 0, "simulation worker budget (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 4, "experiments run concurrently")
+		outDir   = flag.String("out", "", "directory for reports, resume state and the artifact cache (default stdout only)")
+		jsonOut  = flag.Bool("json", false, "also write <id>.json machine-readable reports (requires -out)")
+		force    = flag.Bool("force", false, "rerun experiments even when -out holds completed results")
+		quiet    = flag.Bool("quiet", false, "suppress report bodies on stdout (summaries still print)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+			fmt.Printf("%-13s %s\n", id, experiments.Describe(id))
 		}
-		return
+		return 0
 	}
-	if *run == "" {
+	if *runID == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all required (see -list)")
-		os.Exit(2)
+		return 2
+	}
+	if *jsonOut && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -json requires -out (JSON reports are written next to the text reports)")
+		return 2
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
-		ids = experiments.IDs()
+	var ids []string
+	if *runID != "all" {
+		ids = []string{*runID}
 	}
-	for _, id := range ids {
-		opt := experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers}
-		var sink io.Writer = os.Stdout
-		var file *os.File
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
-			}
-			var err error
-			file, err = os.Create(filepath.Join(*outDir, id+".txt"))
-			if err != nil {
-				fatal(err)
-			}
-			sink = io.MultiWriter(os.Stdout, file)
-		}
-		opt.Out = sink
-		start := time.Now()
-		fmt.Printf("=== %s: %s ===\n", id, experiments.Describe(id))
-		if err := experiments.Run(id, opt); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("=== %s done in %v ===\n\n", id, time.Since(start).Round(time.Millisecond))
-		if file != nil {
-			file.Close()
-		}
-	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	// Flag values pass through verbatim: -x 0 and -seed 0 mean x=0 and
+	// seed=0 (the flag defaults above supply the paper's base case, not
+	// a post-hoc rewrite of zero values).
+	var mu sync.Mutex
+	batch := experiments.BatchOptions{
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers},
+		IDs:      ids,
+		Parallel: *parallel,
+		OutDir:   *outDir,
+		JSON:     *jsonOut,
+		Force:    *force,
+		Progress: func(st experiments.RunStatus) {
+			// Experiments finish concurrently; serialize so each
+			// report prints as one uninterrupted block.
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case st.Err != nil:
+				fmt.Printf("=== %s: FAILED: %v ===\n\n", st.ID, st.Err)
+			case st.Resumed:
+				fmt.Printf("=== %s: resumed (already complete in %s) ===\n\n", st.ID, *outDir)
+			default:
+				fmt.Printf("=== %s: %s ===\n", st.ID, st.Desc)
+				if !*quiet {
+					os.Stdout.Write(st.Report)
+				}
+				fmt.Printf("=== %s done in %v (%d sims, %d executed) ===\n\n",
+					st.ID, st.Wall.Round(time.Millisecond), len(st.Sims), st.SimExecs)
+			}
+		},
+	}
+
+	start := time.Now()
+	statuses, err := experiments.RunBatch(batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+
+	// A failed experiment never aborts the batch; it is reported above,
+	// summarized here, and reflected in the exit code.
+	failed := 0
+	resumed := 0
+	for _, st := range statuses {
+		if st.Err != nil {
+			failed++
+		}
+		if st.Resumed {
+			resumed++
+		}
+	}
+	fmt.Printf("%d experiments: %d ok, %d resumed, %d failed in %v\n",
+		len(statuses), len(statuses)-failed-resumed, resumed, failed, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

@@ -2,6 +2,8 @@ package asgraph
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -51,6 +53,21 @@ func Write(w io.Writer, g *Graph) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Fingerprint returns a SHA-256 digest (hex) of g's canonical text
+// serialization — structure, classes, weights and ASN labels. Because
+// Build assigns node indices in ascending ASN order, two graphs with
+// equal fingerprints are identical down to node indices, so results of
+// index-dependent computations (routing, simulation) transfer between
+// them. It is the graph half of content-addressed cache keys.
+func Fingerprint(g *Graph) string {
+	h := sha256.New()
+	// Write only fails when the underlying writer fails; hashes don't.
+	if err := Write(h, g); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // WriteFile serializes g to the named file.

@@ -33,6 +33,51 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	assertGraphsEqual(t, g, g2)
 }
 
+func TestFingerprint(t *testing.T) {
+	g := sample(t)
+	fp := Fingerprint(g)
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fp))
+	}
+	if Fingerprint(sample(t)) != fp {
+		t.Errorf("equal graphs fingerprint differently")
+	}
+
+	// The cache contract: a round-tripped graph keeps its fingerprint
+	// (and, because Build assigns indices in ascending ASN order, its
+	// node indices).
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(g2) != fp {
+		t.Errorf("round-trip changed the fingerprint")
+	}
+	for i := int32(0); i < int32(g.N()); i++ {
+		if g.ASN(i) != g2.ASN(i) {
+			t.Fatalf("round-trip moved index %d: ASN %d -> %d", i, g.ASN(i), g2.ASN(i))
+		}
+	}
+
+	// Any content change must change the fingerprint.
+	weighted := NewBuilder().
+		AddCustomer(1, 2).
+		AddCustomer(1, 3).
+		AddCustomer(2, 4).
+		AddPeer(2, 3).
+		MarkCP(5).
+		AddPeer(5, 1).
+		SetWeight(5, 43).
+		MustBuild()
+	if Fingerprint(weighted) == fp {
+		t.Errorf("weight change did not change the fingerprint")
+	}
+}
+
 func TestWriteReadFile(t *testing.T) {
 	g := sample(t)
 	path := filepath.Join(t.TempDir(), "topo.txt")

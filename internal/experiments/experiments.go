@@ -3,6 +3,13 @@
 // fig3, ...) maps to a runner that executes the relevant simulations and
 // prints the same rows or series the paper reports. cmd/experiments is
 // the CLI front end; bench_test.go wraps the same runners as benchmarks.
+//
+// Runners obtain graphs and simulation results through a shared Store
+// (see store.go), so overlapping work between experiments — the base
+// graph, the Section 5 case-study simulation, the θ sweeps — executes at
+// most once per batch and, with a cache directory, at most once across
+// batches. RunBatch (see harness.go) runs many experiments concurrently
+// against one store and persists reports, JSON data, and resume state.
 package experiments
 
 import (
@@ -14,39 +21,77 @@ import (
 	"sbgp/internal/asgraph"
 	"sbgp/internal/routing"
 	"sbgp/internal/sim"
-	"sbgp/internal/topogen"
 )
 
-// Options configures a run. The defaults target a laptop-scale graph
-// that preserves the paper's structural ratios.
+// Options configures a run. Seed=0 and X=0 are legitimate parameter
+// choices and are passed through to runners unmodified; use
+// DefaultOptions for the paper's laptop-scale defaults.
 type Options struct {
-	// N is the synthetic graph size (default 1200).
+	// N is the synthetic graph size (0 = 1200, the scaled-down paper
+	// substrate).
 	N int
 	// Seed drives topology generation and all randomized choices.
 	Seed int64
 	// X is the fraction of traffic originated by the content providers
-	// (default 0.10, the paper's base case).
+	// (the paper's base case is 0.10; 0 is a valid degenerate choice).
 	X float64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Out receives the experiment's report (default io.Discard).
 	Out io.Writer
+
+	// store, when set, supplies memoized graphs and simulation results.
+	// Runners invoked through RunBatch share one store; direct Run calls
+	// get a private in-memory store so nothing recomputes within an
+	// experiment either way.
+	store *Store
+	// rec, when set by the harness, collects one SimRecord per
+	// simulation request for the experiment's JSON report.
+	rec *simRecorder
 }
 
+// DefaultOptions returns the laptop-scale defaults that preserve the
+// paper's structural ratios: N=1200, Seed=42, X=0.10.
+func DefaultOptions() Options {
+	return Options{N: 1200, Seed: 42, X: 0.10}
+}
+
+// withDefaults fills only the fields whose zero value cannot be meant
+// literally: a nil writer, an absent store, and N=0 (no experiment can
+// run on an empty graph). Seed and X pass through unmodified — 0 is a
+// valid seed and a valid traffic fraction, and the old behavior of
+// silently coercing X=0 to 0.10 and Seed=0 to 42 cost users exactly
+// the runs they asked for. Callers wanting the paper's defaults start
+// from DefaultOptions.
 func (o Options) withDefaults() Options {
 	if o.N == 0 {
 		o.N = 1200
 	}
-	if o.Seed == 0 {
-		o.Seed = 42
-	}
-	if o.X == 0 {
-		o.X = 0.10
-	}
 	if o.Out == nil {
 		o.Out = io.Discard
 	}
+	if o.store == nil {
+		// NewStore cannot fail without a cache directory.
+		o.store, _ = NewStore("", o.Workers)
+	}
 	return o
+}
+
+// Validate rejects option combinations no experiment can run with.
+func (o Options) Validate() error {
+	if o.N < 0 {
+		return fmt.Errorf("experiments: N must be positive, got %d", o.N)
+	}
+	if o.N < 10 {
+		return fmt.Errorf("experiments: N=%d is too small (need at least 10 ASes: 5 CPs plus ISPs; the paper uses 1200+)", o.N)
+	}
+	if o.X < 0 || o.X >= 1 {
+		return fmt.Errorf("experiments: X must be in [0,1), got %v", o.X)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be non-negative, got %d", o.Workers)
+	}
+	return nil
 }
 
 // Runner executes one experiment.
@@ -105,6 +150,10 @@ func Describe(id string) string {
 
 // Run executes the experiment with the given id.
 func Run(id string, opt Options) error {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 	for _, e := range registry {
 		if e.ID == id {
 			return e.Run(opt)
@@ -113,10 +162,26 @@ func Run(id string, opt Options) error {
 	return fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 }
 
-// baseGraph builds the standard synthetic graph for the options.
+// baseGraph returns the standard synthetic graph for the options.
 func baseGraph(opt Options) *asgraph.Graph {
-	g := topogen.MustGenerate(topogen.Default(opt.N, opt.Seed))
-	g.SetCPTrafficFraction(opt.X)
+	return graphAt(opt, variantBase, opt.X)
+}
+
+// augGraph returns the Section 6.8 augmented graph for the options.
+func augGraph(opt Options) *asgraph.Graph {
+	return graphAt(opt, variantAug, opt.X)
+}
+
+// graphAt returns the (shared, immutable) graph for a variant at an
+// explicit CP traffic fraction. Experiments that sweep x (Fig12) call
+// this instead of mutating a shared graph with SetCPTrafficFraction.
+func graphAt(opt Options, variant string, x float64) *asgraph.Graph {
+	g, err := opt.store.Graph(GraphKey{N: opt.N, Seed: opt.Seed, X: x, Variant: variant})
+	if err != nil {
+		// Generation errors for validated options are programming
+		// errors, same contract as the old topogen.MustGenerate path.
+		panic(err)
+	}
 	return g
 }
 
@@ -162,8 +227,18 @@ func adopterSets(g *asgraph.Graph, seed int64) []adopterSet {
 // thetas is the θ sweep used throughout Section 6.
 var thetas = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50}
 
-func runOnce(g *asgraph.Graph, cfg sim.Config) *sim.Result {
-	return sim.MustNew(g, cfg).Run()
+// runOnce executes (or fetches) the simulation for (g, cfg) through the
+// options' store and records the request on the current harness run (if
+// any) for the JSON report.
+func runOnce(opt Options, g *asgraph.Graph, cfg sim.Config) *sim.Result {
+	res, run, err := opt.store.Sim(g, cfg)
+	if err != nil {
+		// Config errors on validated options are programming errors,
+		// same contract as the old sim.MustNew path.
+		panic(err)
+	}
+	opt.rec.note(res, run)
+	return res
 }
 
 func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -23,7 +23,7 @@ func ExtAttack(opt Options) error {
 
 	// Deployment states: none, the θ=5% case-study outcome, everyone.
 	none := make([]bool, g.N())
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 	partial := res.FinalSecure
 	full := make([]bool, g.N())
 	for i := range full {
@@ -138,7 +138,7 @@ func ExtBootstrap(opt Options) error {
 					Tiebreaker:          routing.HashTiebreaker{Seed: uint64(opt.Seed)},
 					Workers:             opt.Workers,
 				}
-				frac[k] = runOnce(g, cfg).SecureFractionASes()
+				frac[k] = runOnce(opt, g, cfg).SecureFractionASes()
 			}
 			fmt.Fprintf(opt.Out, "%-14s %-6.2f %-18s %s\n", set.Name, th, fmtPct(frac[0]), fmtPct(frac[1]))
 		}
@@ -169,7 +169,7 @@ func ExtJitter(opt Options) error {
 				Tiebreaker:     routing.HashTiebreaker{Seed: uint64(opt.Seed)},
 				Workers:        opt.Workers,
 			}
-			frac[k] = runOnce(g, cfg).SecureFractionASes()
+			frac[k] = runOnce(opt, g, cfg).SecureFractionASes()
 		}
 		fmt.Fprintf(opt.Out, "%-6.2f %-10s %-10s %s\n", th, fmtPct(frac[0]), fmtPct(frac[1]), fmtPct(frac[2]))
 	}

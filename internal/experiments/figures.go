@@ -9,7 +9,6 @@ import (
 	"sbgp/internal/metrics"
 	"sbgp/internal/routing"
 	"sbgp/internal/sim"
-	"sbgp/internal/topogen"
 )
 
 // Fig2 locates a DIAMOND case study in the running deployment: an ISP
@@ -18,7 +17,7 @@ import (
 func Fig2(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 
 	// Find the deployer with the largest relative loss at deployment
 	// time: it deployed to regain, not to steal.
@@ -62,7 +61,7 @@ func Fig2(opt Options) error {
 func Fig3(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 	ases, isps := res.NewPerRound()
 	fmt.Fprintf(opt.Out, "# Figure 3: newly secure ASes/ISPs per round (N=%d, θ=5%%, x=%s)\n",
 		g.N(), fmtPct(opt.X))
@@ -82,7 +81,7 @@ func Fig3(opt Options) error {
 func Fig4(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 
 	var stealer, regainer, holdout int32 = -1, -1, -1
 	bestGain, bestLoss := 0.0, 0.0
@@ -148,7 +147,7 @@ func Fig4(opt Options) error {
 func Fig5(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 	util, proj := metrics.DeployerMedians(res)
 	fmt.Fprintf(opt.Out, "# Figure 5: median (projected) utility of deployers, normalized by pristine\n")
 	fmt.Fprintf(opt.Out, "round  #deploying  med-utility  med-projected\n")
@@ -163,7 +162,7 @@ func Fig5(opt Options) error {
 func Fig6(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	res := runOnce(g, caseStudyConfig(g, opt))
+	res := runOnce(opt, g, caseStudyConfig(g, opt))
 	edges := []int{1, 11, 26, 101}
 	rows := metrics.AdoptionByDegree(g, res, edges)
 	fmt.Fprintf(opt.Out, "# Figure 6: cumulative fraction of ISPs secure, by degree bin\n")
@@ -198,7 +197,7 @@ func Fig7(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
 	cfg := caseStudyConfig(g, opt)
-	res := runOnce(g, cfg)
+	res := runOnce(opt, g, cfg)
 	states := statesPerRound(g, cfg, res)
 
 	fmt.Fprintf(opt.Out, "# Figure 7: secure-path growth per round (N=%d)\n", g.N())
@@ -285,7 +284,7 @@ func Fig8(opt Options) error {
 				Tiebreaker:     routing.HashTiebreaker{Seed: uint64(opt.Seed)},
 				Workers:        opt.Workers,
 			}
-			res := runOnce(g, cfg)
+			res := runOnce(opt, g, cfg)
 			fmt.Fprintf(opt.Out, "%-14s %-6.2f %-10s %-10s %d\n",
 				set.Name, th, fmtPct(res.SecureFractionASes()),
 				fmtPct(res.SecureFractionISPs()), res.NumRounds())
@@ -312,7 +311,7 @@ func Fig9(opt Options) error {
 			Tiebreaker:     tb,
 			Workers:        opt.Workers,
 		}
-		res := runOnce(g, cfg)
+		res := runOnce(opt, g, cfg)
 		sp := metrics.ComputeSecurePaths(g, res.FinalSecure, true, tb)
 		f2 := sp.SecureASFraction * sp.SecureASFraction
 		ratio := math.NaN()
@@ -360,7 +359,7 @@ func Fig11(opt Options) error {
 				Tiebreaker:     routing.HashTiebreaker{Seed: uint64(opt.Seed)},
 				Workers:        opt.Workers,
 			}
-			frac[k] = runOnce(g, cfg).SecureFractionASes()
+			frac[k] = runOnce(opt, g, cfg).SecureFractionASes()
 		}
 		fmt.Fprintf(opt.Out, "%-6.2f %-18s %s\n", th, fmtPct(frac[0]), fmtPct(frac[1]))
 	}
@@ -371,30 +370,29 @@ func Fig11(opt Options) error {
 // across CP traffic shares x, on the base and augmented graphs.
 func Fig12(opt Options) error {
 	opt = opt.withDefaults()
-	base := baseGraph(opt)
-	aug, err := topogen.Augment(base, opt.Seed, 0.5)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(opt.Out, "# Figure 12: CPs vs Tier-1s as early adopters (θ=5%%)\n")
 	fmt.Fprintf(opt.Out, "# Under the flip-only projection CP-only seeding cannot bootstrap (no\n")
 	fmt.Fprintf(opt.Out, "# stub starts secure); the bundled-stub columns use ProjectStubUpgrades,\n")
 	fmt.Fprintf(opt.Out, "# where CP traffic volume drives deployment as in the paper's Figure 12.\n")
 	fmt.Fprintf(opt.Out, "%-10s %-6s %-10s %-10s %-14s %s\n",
 		"graph", "x", "5cps", "top5", "5cps+bundle", "top5+bundle")
+	// Store graphs are shared and immutable, so instead of re-weighting
+	// one graph per x (the old SetCPTrafficFraction-in-place loop) each
+	// (variant, x) cell fetches its own graph; structure and node
+	// indices are identical across x, only the traffic weights differ.
 	for _, row := range []struct {
-		name string
-		g    *asgraph.Graph
-	}{{"base", base}, {"augmented", aug}} {
+		name    string
+		variant string
+	}{{"base", variantBase}, {"augmented", variantAug}} {
 		for _, x := range []float64{0.10, 0.20, 0.33, 0.50} {
-			row.g.SetCPTrafficFraction(x)
+			g := graphAt(opt, row.variant, x)
 			var frac [4]float64
 			for k := 0; k < 4; k++ {
 				var set []int32
 				if k%2 == 0 {
-					set = adopters.ContentProviders(row.g)
+					set = adopters.ContentProviders(g)
 				} else {
-					set = adopters.TopISPs(row.g, 5)
+					set = adopters.TopISPs(g, 5)
 				}
 				cfg := sim.Config{
 					Model:               sim.Outgoing,
@@ -405,12 +403,11 @@ func Fig12(opt Options) error {
 					Tiebreaker:          routing.HashTiebreaker{Seed: uint64(opt.Seed)},
 					Workers:             opt.Workers,
 				}
-				frac[k] = runOnce(row.g, cfg).SecureFractionASes()
+				frac[k] = runOnce(opt, g, cfg).SecureFractionASes()
 			}
 			fmt.Fprintf(opt.Out, "%-10s %-6.2f %-10s %-10s %-14s %s\n",
 				row.name, x, fmtPct(frac[0]), fmtPct(frac[1]), fmtPct(frac[2]), fmtPct(frac[3]))
 		}
-		row.g.SetCPTrafficFraction(opt.X)
 	}
 	return nil
 }
@@ -422,7 +419,7 @@ func Fig14(opt Options) error {
 	g := baseGraph(opt)
 	cfg := caseStudyConfig(g, opt)
 	cfg.Theta = 0
-	res := runOnce(g, cfg)
+	res := runOnce(opt, g, cfg)
 	ratios := metrics.ProjectionAccuracy(res)
 	fmt.Fprintf(opt.Out, "# Figure 14: projected/realized utility ratios (θ=0, %d deployers)\n", len(ratios))
 	if len(ratios) == 0 {

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/sim"
+)
+
+// Small file-shaped helpers shared by the store and the harness. All
+// persistence goes through writeFileAtomic so a crash mid-write never
+// leaves a truncated cache entry, report, or status file behind — the
+// resume machinery can then trust that any file it finds is complete.
+
+// writeFileAtomic writes data to path via a temp file + rename in the
+// same directory, so concurrent readers (and post-crash resumers) see
+// either the old content or the new content, never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// renderGraph serializes g in asgraph's native text format.
+func renderGraph(g *asgraph.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := asgraph.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// renderResult serializes res in sim's result wire format.
+func renderResult(res *sim.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := sim.WriteResult(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// readResultFile loads and validates a cached simulation result.
+func readResultFile(path string, n int) (*sim.Result, error) {
+	return sim.ReadResultFile(path, n)
+}
+
+// ffmt renders a float with the shortest representation that parses
+// back to the same value (cache file names, options fingerprints).
+func ffmt(x float64) string {
+	if math.IsNaN(x) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// optionsFingerprint identifies the result-relevant options of a run:
+// a persisted per-experiment status is only honored when the current
+// invocation's fingerprint matches (same N, seed, x). Workers is
+// excluded — it changes wall time, not results.
+func optionsFingerprint(opt Options) string {
+	return fmt.Sprintf("opt-v1|n=%d|seed=%d|x=%s", opt.N, opt.Seed, ffmt(opt.X))
+}

@@ -92,7 +92,7 @@ func Fig16(opt Options) error {
 			Tiebreaker:          routing.LowestIndex{},
 			Workers:             opt.Workers,
 		}
-		res := runOnce(sc.Graph, cfg)
+		res := runOnce(opt, sc.Graph, cfg)
 		fmt.Fprintf(opt.Out, "%-16s %-10d %-10d %d\n",
 			fmt.Sprintf("%v", chosen), len(sc.Covered(chosen)), res.Final.SecureASes, sc.ExpectedSecure(chosen))
 	}
@@ -112,7 +112,7 @@ func Fig17(opt Options) error {
 		MaxRounds:      40,
 		Workers:        opt.Workers,
 	}
-	res := runOnce(o.Graph, cfg)
+	res := runOnce(opt, o.Graph, cfg)
 	fmt.Fprintf(opt.Out, "# Figure 17 / Appendix F: deployment oscillation (incoming utility)\n")
 	fmt.Fprintf(opt.Out, "oscillated=%v cycle-start=round %d period=%d\n",
 		res.Oscillated, res.CycleStart, res.CycleLen)
@@ -139,7 +139,7 @@ func Sec73(opt Options) error {
 	cfg := caseStudyConfig(g, opt)
 	cfg.Model = sim.Incoming
 	cfg.RecordUtilities = false
-	res := runOnce(g, cfg)
+	res := runOnce(opt, g, cfg)
 	fmt.Fprintf(opt.Out, "# Section 7.3: turn-off incentives in the final state (incoming utility)\n")
 	fmt.Fprintf(opt.Out, "deployment: %s ASes secure after %d rounds (oscillated=%v)\n",
 		fmtPct(res.SecureFractionASes()), res.NumRounds(), res.Oscillated)

@@ -7,7 +7,6 @@ import (
 	"sbgp/internal/asgraph"
 	"sbgp/internal/metrics"
 	"sbgp/internal/routing"
-	"sbgp/internal/topogen"
 )
 
 // Table1 counts DIAMOND competition scenarios around each early adopter
@@ -34,10 +33,7 @@ func Table1(opt Options) error {
 func Table2(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	aug, err := topogen.Augment(g, opt.Seed, 0.5)
-	if err != nil {
-		return err
-	}
+	aug := augGraph(opt)
 	fmt.Fprintf(opt.Out, "# Table 2: AS graph summaries\n")
 	for _, row := range []struct {
 		name string
@@ -58,10 +54,7 @@ func Table2(opt Options) error {
 func Table3(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	aug, err := topogen.Augment(g, opt.Seed, 0.5)
-	if err != nil {
-		return err
-	}
+	aug := augGraph(opt)
 	fmt.Fprintf(opt.Out, "# Table 3: mean CP path length to all destinations\n")
 	fmt.Fprintf(opt.Out, "%-10s %-10s %s\n", "CP", "base", "augmented")
 	for k, cp := range g.Nodes(asgraph.ContentProvider) {
@@ -99,10 +92,7 @@ func meanPathFrom(g *asgraph.Graph, src int32) float64 {
 func Table4(opt Options) error {
 	opt = opt.withDefaults()
 	g := baseGraph(opt)
-	aug, err := topogen.Augment(g, opt.Seed, 0.5)
-	if err != nil {
-		return err
-	}
+	aug := augGraph(opt)
 	fmt.Fprintf(opt.Out, "# Table 4: degrees of CPs vs top-5 Tier-1 ISPs\n")
 	fmt.Fprintf(opt.Out, "%-12s %-8s %s\n", "AS", "base", "augmented")
 	for k, cp := range g.Nodes(asgraph.ContentProvider) {

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"sbgp/internal/routing"
+)
+
+func fpBase() Config {
+	return Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  []int32{1, 2, 3},
+		StubsBreakTies: true,
+		Tiebreaker:     routing.HashTiebreaker{Seed: 42},
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpBase().Fingerprint(), fpBase().Fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 32 {
+		t.Fatalf("fingerprint length %d, want 32 hex chars", len(a))
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpBase().Fingerprint()
+	mutations := map[string]func(*Config){
+		"model":         func(c *Config) { c.Model = Incoming },
+		"theta":         func(c *Config) { c.Theta = 0.1 },
+		"adopters":      func(c *Config) { c.EarlyAdopters = []int32{1, 2} },
+		"adopter-order": func(c *Config) { c.EarlyAdopters = []int32{3, 2, 1} },
+		"stubsbreak":    func(c *Config) { c.StubsBreakTies = false },
+		"tiebreaker":    func(c *Config) { c.Tiebreaker = routing.HashTiebreaker{Seed: 7} },
+		"tb-kind":       func(c *Config) { c.Tiebreaker = routing.LowestIndex{} },
+		"maxrounds":     func(c *Config) { c.MaxRounds = 10 },
+		"jitter":        func(c *Config) { c.ThetaJitter = 0.01 },
+		"thetabynode":   func(c *Config) { c.ThetaByNode = []float64{0.1, 0.2} },
+		"projectstubs":  func(c *Config) { c.ProjectStubUpgrades = true },
+	}
+	for name, mutate := range mutations {
+		c := fpBase()
+		mutate(&c)
+		if got := c.Fingerprint(); got == base {
+			t.Errorf("%s: fingerprint unchanged by a trajectory-relevant field", name)
+		}
+	}
+}
+
+// TestFingerprintNormalization checks the documented equivalences: the
+// fingerprint applies the same defaulting Run does and ignores
+// instrumentation-only fields.
+func TestFingerprintNormalization(t *testing.T) {
+	base := fpBase().Fingerprint()
+
+	equiv := map[string]func(*Config){
+		"workers":         func(c *Config) { c.Workers = 7 },
+		"recordutilities": func(c *Config) { c.RecordUtilities = true },
+		"recordstats":     func(c *Config) { c.RecordStats = true },
+		"maxrounds-default": func(c *Config) {
+			c.MaxRounds = 250 // the documented default for 0
+		},
+		"thetaseed-without-jitter": func(c *Config) { c.ThetaSeed = 99 },
+	}
+	for name, mutate := range equiv {
+		c := fpBase()
+		mutate(&c)
+		if got := c.Fingerprint(); got != base {
+			t.Errorf("%s: fingerprint changed by an equivalent config", name)
+		}
+	}
+
+	nilTB := fpBase()
+	nilTB.Tiebreaker = nil
+	defTB := fpBase()
+	defTB.Tiebreaker = routing.HashTiebreaker{}
+	if nilTB.Fingerprint() != defTB.Fingerprint() {
+		t.Errorf("nil tiebreaker should fingerprint as the default HashTiebreaker")
+	}
+
+	// With jitter enabled, the seed matters.
+	j1 := fpBase()
+	j1.ThetaJitter, j1.ThetaSeed = 0.01, 1
+	j2 := fpBase()
+	j2.ThetaJitter, j2.ThetaSeed = 0.01, 2
+	if j1.Fingerprint() == j2.Fingerprint() {
+		t.Errorf("ThetaSeed should be fingerprinted when jitter is on")
+	}
+}

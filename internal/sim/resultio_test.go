@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+)
+
+// ioResult runs a small simulation with full instrumentation so the
+// round-trip test exercises every wire field, including NaN utility
+// slots and per-round stats.
+func ioResult(t *testing.T) (*Result, int) {
+	t.Helper()
+	g := lineGraph(t, 6)
+	cfg := Config{
+		Model:           Outgoing,
+		Theta:           0,
+		EarlyAdopters:   []int32{0, 5},
+		Tiebreaker:      routing.LowestIndex{},
+		RecordUtilities: true,
+		RecordStats:     true,
+	}
+	return MustNew(g, cfg).Run(), g.N()
+}
+
+// lineGraph builds a provider chain 1 -> 2 -> ... -> n.
+func lineGraph(t *testing.T, n int) *asgraph.Graph {
+	t.Helper()
+	b := asgraph.NewBuilder()
+	for i := 1; i < n; i++ {
+		b.AddCustomer(int32(i), int32(i+1))
+	}
+	b.MarkCP(1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res, n := ioResult(t)
+
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultSanity(got, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// NaN != NaN, so compare the float arrays positionally first, then
+	// zap them for the reflect.DeepEqual over everything else.
+	checkFloats := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+			if !same {
+				t.Fatalf("%s[%d]: %v vs %v (must be bit-identical)", name, i, a[i], b[i])
+			}
+		}
+	}
+	checkFloats("PristineUtil", res.PristineUtil, got.PristineUtil)
+	if len(res.Rounds) != len(got.Rounds) {
+		t.Fatalf("rounds: %d vs %d", len(res.Rounds), len(got.Rounds))
+	}
+	hasNaN := false
+	for r := range res.Rounds {
+		checkFloats("UtilBase", res.Rounds[r].UtilBase, got.Rounds[r].UtilBase)
+		checkFloats("UtilProj", res.Rounds[r].UtilProj, got.Rounds[r].UtilProj)
+		for _, v := range res.Rounds[r].UtilBase {
+			if math.IsNaN(v) {
+				hasNaN = true
+			}
+		}
+		res.Rounds[r].UtilBase, got.Rounds[r].UtilBase = nil, nil
+		res.Rounds[r].UtilProj, got.Rounds[r].UtilProj = nil, nil
+	}
+	if !hasNaN {
+		t.Fatalf("test fixture has no NaN utility slots; the round-trip no longer covers them")
+	}
+	res.PristineUtil, got.PristineUtil = nil, nil
+	if !reflect.DeepEqual(res, got) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+func TestReadResultRejectsVersionMismatch(t *testing.T) {
+	res, _ := ioResult(t)
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), `"version":1`, `"version":999`, 1)
+	if tampered == buf.String() {
+		t.Fatalf("could not find version field to tamper with")
+	}
+	if _, err := ReadResult(strings.NewReader(tampered)); err == nil {
+		t.Fatalf("ReadResult accepted a mismatched wire version")
+	}
+}
+
+func TestReadResultFile(t *testing.T) {
+	res, n := ioResult(t)
+	path := filepath.Join(t.TempDir(), "res.json")
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadResultFile(path, n); err != nil {
+		t.Fatalf("ReadResultFile: %v", err)
+	}
+	// Wrong graph size must be rejected (stale cache entry).
+	if _, err := ReadResultFile(path, n+1); err == nil {
+		t.Fatalf("ReadResultFile accepted a result for the wrong graph size")
+	}
+	// Corruption must be rejected, not half-parsed.
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResultFile(path, n); err == nil {
+		t.Fatalf("ReadResultFile accepted a truncated file")
+	}
+}
+
+// TestRoundStatsSurviveRoundTrip pins that per-round stats (including
+// duration fields) reload exactly, since cached results feed the JSON
+// reports.
+func TestRoundStatsSurviveRoundTrip(t *testing.T) {
+	res, _ := ioResult(t)
+	found := false
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			found = true
+			rd.Stats.Wall = 123 * time.Microsecond
+		}
+	}
+	if !found {
+		t.Skip("engine recorded no round stats for this fixture")
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResult(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res.Rounds {
+		if !reflect.DeepEqual(res.Rounds[r].Stats, got.Rounds[r].Stats) {
+			t.Fatalf("round %d stats mismatch:\n got %+v\nwant %+v", r, got.Rounds[r].Stats, res.Rounds[r].Stats)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command benchjson runs the repo's Go benchmarks and emits the results
+// as machine-comparable JSON, so before/after performance numbers can be
+// committed next to the code they measure (see BENCH_pr3.json) and
+// diffed across changes without scraping `go test -bench` text output.
+//
+// Usage:
+//
+//	benchjson [-bench Round] [-benchtime 5x] [-label pr3] \
+//	          [-o BENCH.json] [packages...]
+//
+// Packages default to ./internal/sim. Fixed iteration counts
+// (-benchtime Nx) make reruns comparable: every sample measures the
+// same number of operations.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the run used -benchmem
+	// (benchjson always does).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// File is the emitted document.
+type File struct {
+	// Label identifies the measured revision (e.g. "pr3").
+	Label     string `json:"label,omitempty"`
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	// Benchmarks appear in execution order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		bench     = flag.String("bench", "Round", "benchmark name pattern (go test -bench)")
+		benchtime = flag.String("benchtime", "5x", "iterations or duration per benchmark (go test -benchtime)")
+		label     = flag.String("label", "", "revision label recorded in the output")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/sim"}
+	}
+
+	args := append([]string{
+		"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-benchmem",
+	}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+		return 1
+	}
+
+	f := &File{Label: *label, Bench: *bench, Benchtime: *benchtime, Benchmarks: []Benchmark{}}
+	if err := parse(&buf, f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %v\n", *bench, pkgs)
+		return 1
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse scans `go test -bench` output: header lines (goos/goarch/cpu,
+// pkg) set the context for the Benchmark result lines that follow.
+func parse(r *bytes.Buffer, f *File) error {
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			f.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %w", line, err)
+			}
+			b.Pkg = pkg
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	return sc.Err()
+}
+
+// parseResult parses one result line, e.g.
+//
+//	BenchmarkRoundOutgoing1000  5  23337898 ns/op  352 B/op  8 allocs/op
+func parseResult(line string) (Benchmark, error) {
+	var b Benchmark
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return b, fmt.Errorf("not a benchmark result line")
+	}
+	b.Name = fields[0]
+	var err error
+	if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return b, err
+	}
+	if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return b, err
+	}
+	for i := 3; i+1 < len(fields); i += 2 {
+		val, unit := fields[i+1], ""
+		if i+2 < len(fields) {
+			unit = fields[i+2]
+		}
+		switch unit {
+		case "B/op":
+			if b.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return b, err
+			}
+		case "allocs/op":
+			if b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"sbgp/internal/experiments"
+	"sbgp/internal/profiling"
 )
 
 func main() {
@@ -43,8 +44,19 @@ func run() int {
 		jsonOut  = flag.Bool("json", false, "also write <id>.json machine-readable reports (requires -out)")
 		force    = flag.Bool("force", false, "rerun experiments even when -out holds completed results")
 		quiet    = flag.Bool("quiet", false, "suppress report bodies on stdout (summaries still print)")
+
+		staticCache = flag.Int64("static-cache", 0, "per-simulation static routing cache budget in bytes (0 = engine default, negative = disable)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
+	}
+	defer stop()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -71,7 +83,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, StaticCacheBytes: *staticCache},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

@@ -10,6 +10,7 @@
 //	sbgpsim -n 2000 -theta 0.05 -adopters cps+top5
 //	sbgpsim -topo graph.txt -model incoming -theta 0.1 -adopters top10
 //	sbgpsim -n 1000 -adopters random20 -adopter-seed 7
+//	sbgpsim -n 2500 -model incoming -cpuprofile cpu.pprof
 package main
 
 import (
@@ -18,9 +19,14 @@ import (
 	"os"
 
 	"sbgp"
+	"sbgp/internal/profiling"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		topo        = flag.String("topo", "", "topology file (native text format); empty = generate")
 		n           = flag.Int("n", 2000, "synthetic graph size (ignored with -topo)")
@@ -34,24 +40,30 @@ func main() {
 		projectStub = flag.Bool("project-stubs", false, "projection bundles the ISP's simplex stub upgrades")
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		staticCache = flag.Int64("static-cache", 0, "static routing cache budget in bytes (0 = default, negative = disable)")
 		stats       = flag.Bool("stats", false, "print per-round engine statistics")
 		quiet       = flag.Bool("q", false, "summary only")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	var (
-		g   *sbgp.Graph
-		err error
-	)
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(err)
+	}
+	defer stop()
+
+	var g *sbgp.Graph
 	if *topo != "" {
 		g, err = sbgp.ReadGraphFile(*topo)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		g, err = sbgp.GenerateTopology(sbgp.DefaultTopology(*n, *seed))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if len(sbgp.ContentProviders(g)) > 0 {
@@ -60,7 +72,7 @@ func main() {
 
 	adopters, err := sbgp.ParseAdopters(g, *adoptersStr, *adopterSeed)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := sbgp.Config{
@@ -71,6 +83,7 @@ func main() {
 		Tiebreaker:          sbgp.HashTiebreaker{Seed: uint64(*seed)},
 		Workers:             *workers,
 		MaxRounds:           *maxRounds,
+		StaticCacheBytes:    *staticCache,
 		RecordStats:         *stats,
 	}
 	switch *model {
@@ -79,18 +92,17 @@ func main() {
 	case "incoming":
 		cfg.Model = sbgp.Incoming
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		return fail(fmt.Errorf("unknown model %q", *model))
 	}
 
 	res, err := sbgp.Run(g, cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if !*quiet {
 		fmt.Printf("graph: %d ASes (%d ISPs, %d stubs, %d CPs); adopters: %d\n",
-			g.N(), len(g.Nodes(sbgp.ISP)), len(g.Nodes(sbgp.Stub)),
-			len(g.Nodes(sbgp.ContentProvider)), len(adopters))
+			g.N(), len(g.ISPs()), len(g.Stubs()), len(g.CPs()), len(adopters))
 		fmt.Printf("initial: %d secure ASes\n", res.Initial.SecureASes)
 		newA, newI := res.NewPerRound()
 		for r := range newA {
@@ -102,9 +114,10 @@ func main() {
 		}
 	}
 	fmt.Print(res.Summary(g))
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "sbgpsim:", err)
-	os.Exit(1)
+	return 1
 }

@@ -181,6 +181,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if cyc := findCustProvCycle(g); cyc != nil {
 		return nil, fmt.Errorf("GR1 violation: customer-provider cycle through AS %d", g.asn[*cyc])
 	}
+	g.initClassLists()
 	return g, nil
 }
 

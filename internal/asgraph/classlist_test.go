@@ -1,0 +1,56 @@
+package asgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestClassLists: the precomputed per-class index lists agree with a
+// direct scan, Nodes returns an independent copy, and the alias
+// accessors cover every node exactly once.
+func TestClassLists(t *testing.T) {
+	// Two ISPs (1, 2), stubs under them, and one CP peering with 1.
+	g, err := NewBuilder().
+		AddPeer(1, 2).
+		AddCustomer(1, 10).AddCustomer(1, 11).
+		AddCustomer(2, 12).
+		AddCustomer(2, 20).AddCustomer(1, 20). // 20 multihomed: still a stub
+		AddPeer(1, 30).MarkCP(30).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[Class][]int32{ISP: nil, Stub: nil, ContentProvider: nil}
+	for i := int32(0); i < int32(g.N()); i++ {
+		c := g.Class(i)
+		want[c] = append(want[c], i)
+	}
+	for c, alias := range map[Class][]int32{ISP: g.ISPs(), Stub: g.Stubs(), ContentProvider: g.CPs()} {
+		if !reflect.DeepEqual(alias, want[c]) {
+			t.Errorf("class %v: alias list %v, want %v", c, alias, want[c])
+		}
+		if got := g.Nodes(c); !reflect.DeepEqual(got, want[c]) {
+			t.Errorf("class %v: Nodes %v, want %v", c, got, want[c])
+		}
+	}
+	if len(g.ISPs())+len(g.Stubs())+len(g.CPs()) != g.N() {
+		t.Errorf("class lists cover %d nodes, want %d",
+			len(g.ISPs())+len(g.Stubs())+len(g.CPs()), g.N())
+	}
+
+	// Nodes must hand out a copy: mutating it cannot corrupt the shared
+	// lists.
+	cp := g.Nodes(ISP)
+	if len(cp) == 0 {
+		t.Fatal("no ISPs in test graph")
+	}
+	cp[0] = -99
+	if g.ISPs()[0] == -99 {
+		t.Error("mutating Nodes' result corrupted the shared class list")
+	}
+
+	if g.Nodes(Class(99)) != nil {
+		t.Error("out-of-range class should yield nil")
+	}
+}

@@ -100,6 +100,11 @@ type Graph struct {
 	class  []Class
 	weight []float64
 
+	// byClass[c] lists all nodes of class c in ascending index order,
+	// precomputed at build time so hot paths iterate class members
+	// without scanning all n nodes.
+	byClass [3][]int32
+
 	asn      []int32
 	asnIndex map[int32]int32
 }
@@ -180,15 +185,45 @@ func (g *Graph) IsISP(i int32) bool { return g.class[i] == ISP }
 // IsCP reports whether node i is a content provider.
 func (g *Graph) IsCP(i int32) bool { return g.class[i] == ContentProvider }
 
-// Nodes returns all node indices of the given class, in ascending order.
+// Nodes returns all node indices of the given class, in ascending
+// order. The returned slice is a fresh copy the caller may modify; for
+// allocation-free read-only access use ISPs, Stubs or CPs.
 func (g *Graph) Nodes(c Class) []int32 {
-	var out []int32
-	for i := int32(0); i < int32(g.n); i++ {
-		if g.class[i] == c {
-			out = append(out, i)
+	if int(c) >= len(g.byClass) || len(g.byClass[c]) == 0 {
+		return nil
+	}
+	return append([]int32(nil), g.byClass[c]...)
+}
+
+// ISPs returns all ISP node indices in ascending order. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) ISPs() []int32 { return g.byClass[ISP] }
+
+// Stubs returns all stub node indices in ascending order. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) Stubs() []int32 { return g.byClass[Stub] }
+
+// CPs returns all content-provider node indices in ascending order. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) CPs() []int32 { return g.byClass[ContentProvider] }
+
+// initClassLists fills byClass; Build calls it once after classes are
+// assigned.
+func (g *Graph) initClassLists() {
+	var count [3]int
+	for _, c := range g.class {
+		if int(c) < len(count) {
+			count[c]++
 		}
 	}
-	return out
+	for c, k := range count {
+		g.byClass[c] = make([]int32, 0, k)
+	}
+	for i, c := range g.class {
+		if int(c) < len(g.byClass) {
+			g.byClass[c] = append(g.byClass[c], int32(i))
+		}
+	}
 }
 
 // EdgeCount returns the number of undirected customer-provider edges and

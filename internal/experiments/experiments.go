@@ -37,6 +37,11 @@ type Options struct {
 	X float64
 	// Workers caps simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// StaticCacheBytes bounds each simulation's static routing cache
+	// (sim.Config.StaticCacheBytes): 0 keeps the engine default, positive
+	// caps the per-Sim budget, negative disables the cache. Performance
+	// knob only — results are bit-identical for every setting.
+	StaticCacheBytes int64
 	// Out receives the experiment's report (default io.Discard).
 	Out io.Writer
 
@@ -73,6 +78,7 @@ func (o Options) withDefaults() Options {
 	if o.store == nil {
 		// NewStore cannot fail without a cache directory.
 		o.store, _ = NewStore("", o.Workers)
+		o.store.StaticCacheBytes = o.StaticCacheBytes
 	}
 	return o
 }

@@ -123,6 +123,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.StaticCacheBytes = opt.StaticCacheBytes
 	opt.store = store
 
 	parallel := b.Parallel

@@ -96,6 +96,32 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestGoldenReportsCacheInvariant: the static routing cache must be
+// invisible in experiment output — disabling it outright and strangling
+// its budget (a few snapshots' worth, forcing most destinations to
+// recompute every round) both reproduce every golden byte for byte.
+func TestGoldenReportsCacheInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice more")
+	}
+	for _, budget := range []int64{-1, 64 << 10} {
+		opt := goldenOptions()
+		opt.StaticCacheBytes = budget
+		statuses, err := RunBatch(BatchOptions{Options: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range statuses {
+			if st.Err != nil {
+				t.Fatalf("budget %d: %s failed: %v", budget, st.ID, st.Err)
+			}
+			if !bytes.Equal(st.Report, readGolden(t, st.ID)) {
+				t.Errorf("budget %d: %s report differs from golden", budget, st.ID)
+			}
+		}
+	}
+}
+
 // TestDirectRunMatchesGolden checks the non-batch path (Run with a
 // private store) against the same goldens for a sample of experiments.
 func TestDirectRunMatchesGolden(t *testing.T) {

@@ -35,6 +35,14 @@ type Store struct {
 	budget  *workerBudget
 	workers int // resolved worker budget (for sims run through the store)
 
+	// StaticCacheBytes, when non-zero, overrides the per-Sim static
+	// routing cache budget (sim.Config.StaticCacheBytes) of every
+	// simulation executed through the store: positive caps it, negative
+	// disables the cache. It is a performance knob only — excluded from
+	// Config.Fingerprint, so it never changes cache keys or Results. Set
+	// it before the first Sim call.
+	StaticCacheBytes int64
+
 	mu       sync.Mutex
 	graphs   map[GraphKey]*graphEntry
 	sims     map[string]*simEntry
@@ -201,9 +209,12 @@ type SimRun struct {
 // may legitimately differ between a cached Result and a fresh run
 // (per-round stats, final-ulp utility noise across worker counts).
 func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, error) {
-	// Normalize: superset instrumentation, worker budget.
+	// Normalize: superset instrumentation, worker budget, cache policy.
 	cfg.RecordUtilities = true
 	cfg.RecordStats = true
+	if s.StaticCacheBytes != 0 {
+		cfg.StaticCacheBytes = s.StaticCacheBytes
+	}
 
 	gfp := s.graphFingerprint(g)
 	cfp := cfg.Fingerprint()

@@ -1,0 +1,54 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile
+// flags into the repo's CLIs. It is a thin wrapper over runtime/pprof
+// kept in one place so both cmd/sbgpsim and cmd/experiments expose
+// identical semantics: the CPU profile covers everything between Start
+// and the returned stop function, and the heap profile is written at
+// stop after a final garbage collection (live objects, not churn).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and returns a
+// stop function that ends the CPU profile and, when memFile is
+// non-empty, writes a heap profile there after a forced GC. The stop
+// function must run on every exit path that should produce profiles —
+// call it via defer from a function that returns an exit code rather
+// than calling os.Exit directly. Either file name may be empty; with
+// both empty Start is a no-op and stop does nothing.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: heap profile:", err)
+		}
+	}, nil
+}

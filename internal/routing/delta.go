@@ -1,5 +1,7 @@
 package routing
 
+import "math/bits"
+
 // Delta resolution computes projected routing trees by change
 // propagation instead of re-resolution. A node's decision depends only
 // on its own flags and the Secure flags of its tiebreak candidates
@@ -20,37 +22,47 @@ type undoEntry struct {
 	secure bool
 }
 
-// PrepareDelta builds the dependents index for the workspace's current
-// static info — the transpose of the tiebreak adjacency — plus the
-// propagation scratch. Call it once per destination (after
-// ComputeStatic or PrepareDest) before the first ApplyFlips.
+// PrepareDelta builds the dependents index for the given static info —
+// the transpose of the tiebreak adjacency — plus the propagation
+// scratch. Call it after ComputeStatic or PrepareDest and before the
+// first ApplyFlips. The index is stored on the Static itself (it is as
+// state-independent as the rest of it); repeated calls on a Static that
+// already carries the index — a cached snapshot resolved round after
+// round — are O(1) no-ops.
 func (w *Workspace) PrepareDelta(s *Static) {
 	n := w.g.N()
-	if len(w.revOff) < n+1 {
-		w.revOff = make([]int32, n+1)
+	if len(w.revCur) < n {
 		w.revCur = make([]int32, n)
-		w.inHeap = make([]bool, n)
+		w.pend = make([]uint64, (n+63)/64)
 	}
+	if s.deltaReady {
+		return
+	}
+	if cap(s.revOff) < n+1 {
+		s.revOff = make([]int32, n+1)
+	}
+	s.revOff = s.revOff[:n+1]
 	for i := 0; i <= n; i++ {
-		w.revOff[i] = 0
+		s.revOff[i] = 0
 	}
 	for _, b := range s.tbAdj {
-		w.revOff[b+1]++
+		s.revOff[b+1]++
 	}
 	for i := 0; i < n; i++ {
-		w.revOff[i+1] += w.revOff[i]
+		s.revOff[i+1] += s.revOff[i]
 	}
-	if cap(w.revAdj) < len(s.tbAdj) {
-		w.revAdj = make([]int32, len(s.tbAdj))
+	if cap(s.revAdj) < len(s.tbAdj) {
+		s.revAdj = make([]int32, len(s.tbAdj))
 	}
-	w.revAdj = w.revAdj[:len(s.tbAdj)]
-	copy(w.revCur, w.revOff[:n])
+	s.revAdj = s.revAdj[:len(s.tbAdj)]
+	copy(w.revCur, s.revOff[:n])
 	for _, i := range s.order {
 		for _, b := range s.Tiebreak(i) {
-			w.revAdj[w.revCur[b]] = i
+			s.revAdj[w.revCur[b]] = i
 			w.revCur[b]++
 		}
 	}
+	s.deltaReady = true
 }
 
 // ApplyFlips mutates t — which must currently equal the tree resolved
@@ -62,6 +74,13 @@ func (w *Workspace) PrepareDelta(s *Static) {
 // each node whose Secure flag changes; nodes never reached provably
 // decide as in the base tree.
 //
+// The pending set is a bitset over order positions with a
+// forward-moving cursor: a node's dependents sit at strictly larger
+// positions, so pops are monotonically increasing and the cursor never
+// backs up — push and pop are O(1) amortized, versus O(log k) for the
+// binary heap this replaces, and the pop sequence (ascending unique
+// positions) is identical.
+//
 // It returns whether any parent differs from the base tree — when false
 // the projected tree routes identically, so every traffic accumulation
 // over it is bit-equal to the base one — and the number of nodes
@@ -69,7 +88,15 @@ func (w *Workspace) PrepareDelta(s *Static) {
 // Revert calls must alternate. PrepareDelta must have been called for s.
 func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, flipList []int32, tb Tiebreaker) (changed bool, touched int) {
 	w.undo = w.undo[:0]
-	w.heap = w.heap[:0]
+	pend := w.pend
+	pending := 0
+	push := func(p int32) {
+		word, bit := p>>6, uint64(1)<<uint(p&63)
+		if pend[word]&bit == 0 {
+			pend[word] |= bit
+			pending++
+		}
+	}
 	for _, f := range flipList {
 		if f == s.Dest {
 			// The destination's entry is Parent -1, Secure = its own
@@ -79,23 +106,24 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 			if t.Secure[f] != dSec {
 				w.undo = append(w.undo, undoEntry{f, t.Parent[f], t.Secure[f]})
 				t.Secure[f] = dSec
-				for _, j := range w.revAdj[w.revOff[f]:w.revOff[f+1]] {
-					if !w.inHeap[j] {
-						w.inHeap[j] = true
-						w.heapPush(s.pos[j])
-					}
+				for _, j := range s.revAdj[s.revOff[f]:s.revOff[f+1]] {
+					push(s.pos[j])
 				}
 			}
 			continue
 		}
-		if p := s.pos[f]; p >= 0 && !w.inHeap[f] {
-			w.inHeap[f] = true
-			w.heapPush(p)
+		if p := s.pos[f]; p >= 0 {
+			push(p)
 		}
 	}
-	for len(w.heap) > 0 {
-		i := s.order[w.heapPop()]
-		w.inHeap[i] = false
+	for word := 0; pending > 0; {
+		for pend[word] == 0 {
+			word++
+		}
+		b := bits.TrailingZeros64(pend[word])
+		pend[word] &^= 1 << uint(b)
+		pending--
+		i := s.order[word<<6|b]
 		touched++
 		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
 		if !ok || (p == t.Parent[i] && sec == t.Secure[i]) {
@@ -109,11 +137,8 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		t.Parent[i] = p
 		t.Secure[i] = sec
 		if secChanged {
-			for _, j := range w.revAdj[w.revOff[i]:w.revOff[i+1]] {
-				if !w.inHeap[j] {
-					w.inHeap[j] = true
-					w.heapPush(s.pos[j])
-				}
+			for _, j := range s.revAdj[s.revOff[i]:s.revOff[i+1]] {
+				push(s.pos[j])
 			}
 		}
 	}
@@ -129,47 +154,4 @@ func (w *Workspace) RevertFlips(t *Tree) {
 		t.Secure[e.node] = e.secure
 	}
 	w.undo = w.undo[:0]
-}
-
-// heapPush and heapPop maintain w.heap as a binary min-heap of order
-// positions. Positions are unique (nodes are deduplicated via inHeap
-// before pushing), and every push during propagation is strictly larger
-// than the last popped position, so each node is popped at most once.
-func (w *Workspace) heapPush(p int32) {
-	h := append(w.heap, p)
-	k := len(h) - 1
-	for k > 0 {
-		parent := (k - 1) / 2
-		if h[parent] <= h[k] {
-			break
-		}
-		h[parent], h[k] = h[k], h[parent]
-		k = parent
-	}
-	w.heap = h
-}
-
-func (w *Workspace) heapPop() int32 {
-	h := w.heap
-	min := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h = h[:last]
-	k := 0
-	for {
-		l, r, small := 2*k+1, 2*k+2, k
-		if l < len(h) && h[l] < h[small] {
-			small = l
-		}
-		if r < len(h) && h[r] < h[small] {
-			small = r
-		}
-		if small == k {
-			break
-		}
-		h[k], h[small] = h[small], h[k]
-		k = small
-	}
-	w.heap = h
-	return min
 }

@@ -83,6 +83,17 @@ type Static struct {
 	// win, when non-nil, holds the state-independent tiebreak winner of
 	// every reachable node's tiebreak set (filled by PrepareDest).
 	win []int32
+	// Delta-resolution dependents index (PrepareDelta): the transpose of
+	// the tiebreak adjacency, revAdj[revOff[b]:revOff[b+1]] listing the
+	// nodes whose tiebreak set contains b. Like everything else in a
+	// Static it depends only on (graph, destination), so it lives here —
+	// not in the Workspace — and snapshots carry it across rounds.
+	revOff     []int32
+	revAdj     []int32
+	deltaReady bool
+	// provParents, when provReady, memoizes ProviderParents.
+	provParents []int32
+	provReady   bool
 }
 
 // Tiebreak returns the tiebreak set of node i: the next hops of all of
@@ -94,6 +105,25 @@ func (s *Static) Tiebreak(i int32) []int32 {
 // Order returns all reachable nodes except the destination in ascending
 // best-route length. The slice aliases internal storage.
 func (s *Static) Order() []int32 { return s.order }
+
+// ProviderParents returns every node listed in the tiebreak set of some
+// node whose best route is provider-class: the only nodes that can ever
+// receive traffic over a customer edge for this destination, in any
+// deployment state (parents are always drawn from tiebreak sets). The
+// list is state-independent, computed on first call and memoized; it
+// may contain duplicates. The slice aliases internal storage.
+func (s *Static) ProviderParents() []int32 {
+	if !s.provReady {
+		s.provParents = s.provParents[:0]
+		for _, i := range s.order {
+			if s.Type[i] == ProviderRoute {
+				s.provParents = append(s.provParents, s.Tiebreak(i)...)
+			}
+		}
+		s.provReady = true
+	}
+	return s.provParents
+}
 
 // Pos returns node i's index in Order(), or -1 for the destination and
 // unreachable nodes.
@@ -118,12 +148,10 @@ type Workspace struct {
 	winBuf     []int32
 
 	// scratch for delta resolution (PrepareDelta / ApplyFlips):
-	// dependents index in CSR form plus propagation heap and undo log.
-	revOff []int32
+	// counting-sort cursor, pending-position bitset and undo log. The
+	// dependents index itself lives on the Static being resolved.
 	revCur []int32
-	revAdj []int32
-	inHeap []bool
-	heap   []int32
+	pend   []uint64
 	undo   []undoEntry
 }
 
@@ -162,6 +190,8 @@ func (w *Workspace) ComputeStatic(d int32) *Static {
 	s := &w.static
 	s.Dest = d
 	s.win = nil
+	s.deltaReady = false
+	s.provReady = false
 	for i := int32(0); i < n; i++ {
 		s.Type[i] = NoRoute
 		s.Len[i] = -1

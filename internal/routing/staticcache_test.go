@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbgp/internal/asgraph/asgraphtest"
+)
+
+// TestQuickSnapshotResolutionIdentical: resolving any deployment state
+// against a cached snapshot — including delta resolution of flip sets —
+// produces exactly the tree a cold PrepareDest would. This is the
+// correctness contract of the cross-round static cache (Observation
+// C.1): a snapshot is observationally indistinguishable from the
+// workspace-owned Static it copied.
+func TestQuickSnapshotResolutionIdentical(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(18), 0.15, 0.1, 0.25)
+		n := g.N()
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		wCold := NewWorkspace(g)
+		wWarm := NewWorkspace(g)
+		cache := NewStaticCache(DefaultStaticCacheBytes)
+		// Round 1: fill the cache; every admission must return the stored
+		// snapshot.
+		for d := int32(0); d < int32(n); d++ {
+			if cache.Add(wWarm.PrepareDest(d, tb)) == nil {
+				t.Logf("seed %d: default budget rejected dest %d", seed, d)
+				return false
+			}
+		}
+		// Later rounds: fresh deployment states resolved against the
+		// snapshots must match cold recomputation entry for entry.
+		var cold, warm, coldProj, warmProj Tree
+		for round := 0; round < 3; round++ {
+			sec, brk := asgraphtest.RandomState(rng, n, 0.5, 0.7)
+			flip := int32(rng.Intn(n))
+			flipped := make([]bool, n)
+			flipped[flip] = true
+			flipList := []int32{flip}
+			for d := int32(0); d < int32(n); d++ {
+				sCold := wCold.PrepareDest(d, tb)
+				cold.Clear(n)
+				wCold.ResolveInto(&cold, sCold, sec, brk, nil, nil, tb)
+				coldProj.Clear(n)
+				wCold.ResolveInto(&coldProj, sCold, sec, brk, flipped, nil, tb)
+
+				snap := cache.Get(d)
+				if snap == nil {
+					t.Logf("seed %d: missing snapshot for dest %d", seed, d)
+					return false
+				}
+				warm.Clear(n)
+				wWarm.ResolveInto(&warm, snap, sec, brk, nil, nil, tb)
+				if !treesEqual(&cold, &warm, n) {
+					t.Logf("seed %d round %d dest %d: snapshot base tree differs", seed, round, d)
+					return false
+				}
+				// Delta resolution against the snapshot: PrepareDelta is an
+				// O(1) no-op once the snapshot carries the index.
+				wWarm.PrepareDelta(snap)
+				warmProj.CopyFrom(&warm)
+				wWarm.ApplyFlips(&warmProj, snap, sec, brk, flipped, nil, flipList, tb)
+				if !treesEqual(&coldProj, &warmProj, n) {
+					t.Logf("seed %d round %d dest %d flip %d: snapshot projected tree differs", seed, round, d, flip)
+					return false
+				}
+				wWarm.RevertFlips(&warmProj)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotSurvivesWorkspaceReuse: a snapshot shares no storage with
+// the workspace, so recomputing other destinations must not disturb it.
+func TestSnapshotSurvivesWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := asgraphtest.Random(rng, 16, 0.15, 0.1, 0.25)
+	n := g.N()
+	tb := HashTiebreaker{Seed: 7}
+	w := NewWorkspace(g)
+
+	s := w.PrepareDest(0, tb)
+	w.PrepareDelta(s)
+	snap := s.Snapshot()
+	wantOrder := append([]int32(nil), s.Order()...)
+
+	// Trash the workspace's Static with every other destination.
+	for d := int32(1); d < int32(n); d++ {
+		w.PrepareDest(d, tb)
+		w.PrepareDelta(&w.static)
+	}
+
+	if snap.Dest != 0 {
+		t.Fatalf("snapshot dest changed to %d", snap.Dest)
+	}
+	if len(snap.Order()) != len(wantOrder) {
+		t.Fatalf("snapshot order length changed: %d vs %d", len(snap.Order()), len(wantOrder))
+	}
+	for k, i := range snap.Order() {
+		if i != wantOrder[k] {
+			t.Fatalf("snapshot order[%d] changed: %d vs %d", k, i, wantOrder[k])
+		}
+	}
+	// Resolution against the (aged) snapshot still matches a cold one.
+	sec, brk := asgraphtest.RandomState(rng, n, 0.5, 0.7)
+	var cold, warm Tree
+	cold.Clear(n)
+	w.ResolveInto(&cold, w.PrepareDest(0, tb), sec, brk, nil, nil, tb)
+	warm.Clear(n)
+	w.ResolveInto(&warm, snap, sec, brk, nil, nil, tb)
+	if !treesEqual(&cold, &warm, n) {
+		t.Fatal("aged snapshot resolves differently from cold recomputation")
+	}
+}
+
+// TestStaticCacheBudget: admission is first-fit under the byte budget —
+// entries already admitted are pinned, later ones are rejected, and the
+// accounted size never exceeds the budget.
+func TestStaticCacheBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := asgraphtest.Random(rng, 20, 0.15, 0.1, 0.25)
+	n := int32(g.N())
+	tb := HashTiebreaker{Seed: 11}
+	w := NewWorkspace(g)
+
+	per := w.PrepareDest(0, tb).MemBytes()
+	budget := 2*per + per/2 // room for exactly two snapshots
+	c := NewStaticCache(budget)
+
+	admitted := 0
+	for d := int32(0); d < n; d++ {
+		if c.Add(w.PrepareDest(d, tb)) != nil {
+			admitted++
+		}
+	}
+	if admitted == 0 || admitted == int(n) {
+		t.Fatalf("admitted %d of %d, want a strict subset under budget %d (per-entry ~%d)", admitted, n, budget, per)
+	}
+	if c.Entries() != admitted {
+		t.Errorf("Entries() = %d, want %d", c.Entries(), admitted)
+	}
+	if c.Bytes() > budget {
+		t.Errorf("Bytes() = %d exceeds budget %d", c.Bytes(), budget)
+	}
+	if !c.Full() {
+		t.Error("Full() = false after rejected admissions")
+	}
+	// First-fit pinning: the first destinations stay, later ones miss.
+	if c.Get(0) == nil {
+		t.Error("first admitted entry evicted")
+	}
+	if c.Get(n-1) != nil {
+		t.Error("rejected destination unexpectedly cached")
+	}
+	// Re-adding a rejected destination still fails: the budget is spoken
+	// for and entries are never evicted.
+	if c.Add(w.PrepareDest(n-1, tb)) != nil {
+		t.Error("admission succeeded after budget exhaustion")
+	}
+}
+
+// TestStaticCacheNil: a nil cache is a valid always-miss cache.
+func TestStaticCacheNil(t *testing.T) {
+	var c *StaticCache
+	if c.Get(0) != nil {
+		t.Error("nil cache Get != nil")
+	}
+	if c.Add(&Static{}) != nil {
+		t.Error("nil cache Add != nil")
+	}
+	if c.Bytes() != 0 || c.Entries() != 0 || c.Full() {
+		t.Error("nil cache reports non-empty state")
+	}
+}
+
+// TestSnapshotMemBytes: the accounted snapshot size must dominate the
+// sum of its materialized array footprints, including the lazily built
+// delta index (admission accounts for it up front).
+func TestSnapshotMemBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := asgraphtest.Random(rng, 24, 0.15, 0.1, 0.25)
+	tb := HashTiebreaker{Seed: 3}
+	w := NewWorkspace(g)
+	s := w.PrepareDest(1, tb)
+	before := s.MemBytes()
+	w.PrepareDelta(s)
+	s.ProviderParents()
+	after := s.MemBytes()
+	if before != after {
+		t.Errorf("MemBytes changed after lazy materialization: %d -> %d (must be accounted up front)", before, after)
+	}
+	n, tbs := int64(len(s.Type)), int64(len(s.tbAdj))
+	floor := n + 4*n + 4*(n+1) + 4*tbs + 4*int64(len(s.order)) + 4*n + 4*n +
+		4*(n+1) + 4*int64(len(s.revAdj)) + 4*int64(len(s.provParents))
+	if before < floor {
+		t.Errorf("MemBytes = %d below materialized footprint %d", before, floor)
+	}
+}

@@ -112,6 +112,21 @@ type Config struct {
 	// stubs upgrade after the fact.
 	ProjectStubUpgrades bool
 
+	// StaticCacheBytes bounds the memory of the cross-round static
+	// routing cache: per-destination snapshots of the state-independent
+	// routing information (Observation C.1) that let steady-state rounds
+	// skip the three-stage BFS entirely. 0 means the default budget
+	// (routing.DefaultStaticCacheBytes, 1 GiB — enough to cache graphs of
+	// up to ~5000 ASes fully); negative disables caching. On budget
+	// exhaustion the destinations cached first stay pinned (every
+	// destination is reused exactly once per round, so first-fit pinning
+	// is optimal) and the rest recompute each round.
+	//
+	// Purely a performance/memory knob: cache hits are byte-identical to
+	// cold computation, so every Result is bit-equal at any setting and
+	// the field is excluded from Fingerprint.
+	StaticCacheBytes int64
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.

@@ -65,9 +65,27 @@ func New(g *asgraph.Graph, cfg Config) (*Sim, error) {
 	for i := int32(0); i < int32(n); i++ {
 		s.weights[i] = g.Weight(i)
 	}
+	// Static-cache budget: split evenly across the worker pool. The
+	// striping is static (worker w owns d ≡ w mod nw), so each worker's
+	// share caches exactly the destinations that worker will process on
+	// every future round — goroutine-private, no locking.
+	budget := cfg.StaticCacheBytes
+	if budget == 0 {
+		budget = routing.DefaultStaticCacheBytes
+	}
+	perWorker := int64(0)
+	if budget > 0 {
+		perWorker = budget / int64(nw)
+		if perWorker == 0 {
+			perWorker = 1
+		}
+	}
 	s.pool = make([]*worker, nw)
 	for w := range s.pool {
 		s.pool[w] = newWorker(g, n)
+		if perWorker > 0 {
+			s.pool[w].cache = routing.NewStaticCache(perWorker)
+		}
 	}
 	s.uBase = make([]float64, n)
 	s.uProj = make([]float64, n)
@@ -282,10 +300,6 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 	}
 
 	uBase, uProj = s.uBase, s.uProj
-	for i := 0; i < n; i++ {
-		uBase[i] = 0
-		uProj[i] = 0
-	}
 
 	candList := s.candList[:0]
 	if candidates != nil {
@@ -315,16 +329,43 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		}(w)
 	}
 	wg.Wait()
-	for _, wk := range s.pool {
-		for i := 0; i < n; i++ {
-			uBase[i] += wk.uBase[i]
-			uProj[i] += wk.uDelta[i]
+
+	// Merge the per-worker partial sums, sharded by utility index across
+	// goroutines. Each index sums over workers in pool order and then
+	// adds the base into the projection — exactly the order the old
+	// sequential merge used — so every float result is bit-identical
+	// regardless of shard count. (Workers hold per-destination *deltas*
+	// in uDelta; the merge turns them into projected utilities.)
+	merge := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var base, delta float64
+			for _, wk := range s.pool {
+				base += wk.uBase[i]
+			}
+			for _, wk := range s.pool {
+				delta += wk.uDelta[i]
+			}
+			uBase[i] = base
+			uProj[i] = delta + base
 		}
 	}
-
-	// uProj currently holds only deltas; add the base.
-	for i := 0; i < n; i++ {
-		uProj[i] += uBase[i]
+	if nw == 1 || n < 2*nw {
+		merge(0, n)
+	} else {
+		chunk := (n + nw - 1) / nw
+		var mg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			mg.Add(1)
+			go func(lo, hi int) {
+				defer mg.Done()
+				merge(lo, hi)
+			}(lo, hi)
+		}
+		mg.Wait()
 	}
 
 	if cfg.RecordStats {
@@ -334,6 +375,10 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			Candidates:   len(candList),
 		}
 		for _, wk := range s.pool {
+			stats.StaticHits += wk.stats.staticHits
+			stats.StaticMisses += wk.stats.staticMisses
+			stats.StaticCacheBytes += wk.cache.Bytes()
+			stats.StaticCacheEntries += wk.cache.Entries()
 			stats.BaseResolutions += wk.stats.baseResolutions
 			stats.ProjResolutions += wk.stats.projResolutions
 			stats.ProjUnchanged += wk.stats.projUnchanged
@@ -357,18 +402,23 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 // reused across rounds; resetRound rezeroes the per-round accumulators.
 type worker struct {
 	ws          *routing.Workspace
+	cache       *routing.StaticCache // per-worker static snapshots; nil = disabled
+	isps        []int32              // shared class index list (asgraph.Graph.ISPs)
 	baseTree    routing.Tree
 	projTree    routing.Tree
 	accBase     []float64
 	incBase     []float64
 	accProj     []float64
 	incProj     []float64
+	subMark     []bool
+	subList     []int32
 	uBase       []float64
 	uDelta      []float64
 	flipMark    []bool
 	flipBreaks  []bool
 	flipScratch []int32
 	provParent  []bool
+	provMarked  []int32
 	stats       workerStats
 }
 
@@ -377,6 +427,8 @@ type worker struct {
 // set. The counters are plain increments on worker-private state, cheap
 // enough to maintain unconditionally.
 type workerStats struct {
+	staticHits       int64
+	staticMisses     int64
 	baseResolutions  int64
 	projResolutions  int64
 	projUnchanged    int64
@@ -392,10 +444,12 @@ type workerStats struct {
 func newWorker(g *asgraph.Graph, n int) *worker {
 	return &worker{
 		ws:         routing.NewWorkspace(g),
+		isps:       g.ISPs(),
 		accBase:    make([]float64, n),
 		incBase:    make([]float64, n),
 		accProj:    make([]float64, n),
 		incProj:    make([]float64, n),
+		subMark:    make([]bool, n),
 		uBase:      make([]float64, n),
 		uDelta:     make([]float64, n),
 		flipMark:   make([]bool, n),
@@ -418,17 +472,31 @@ func (wk *worker) resetRound(n int) {
 // projected deltas for the candidates that survive the skip rules.
 func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Config, weights []float64) {
 	g := wk.ws.Graph()
-	stc := wk.ws.PrepareDest(d, cfg.Tiebreaker)
+	// Static routing information is deployment-state independent
+	// (Observation C.1): serve it from the worker's snapshot cache when
+	// possible and run the three-stage BFS only on a miss. On a miss the
+	// fresh snapshot is admitted budget permitting and used directly, so
+	// the lazily built delta index lands on the cached copy.
+	stc := wk.cache.Get(d)
+	if stc != nil {
+		wk.stats.staticHits++
+	} else {
+		stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
+		if wk.cache != nil {
+			wk.stats.staticMisses++
+			if snap := wk.cache.Add(stc); snap != nil {
+				stc = snap
+			}
+		}
+	}
 	wk.baseTree.Clear(g.N())
 	wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
 	wk.stats.baseResolutions++
 	accumulate(stc, &wk.baseTree, weights, wk.accBase, wk.incBase)
 
-	// Base utility contributions.
-	for i := int32(0); i < int32(g.N()); i++ {
-		if !g.IsISP(i) {
-			continue
-		}
+	// Base utility contributions, over the precomputed ISP index list —
+	// scanning all n nodes per destination was an O(n²)-per-round cost.
+	for _, i := range wk.isps {
 		wk.uBase[i] += wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
 	}
 
@@ -497,8 +565,7 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 			wk.ws.RevertFlips(&wk.projTree)
 			continue
 		}
-		accumulate(stc, &wk.projTree, weights, wk.accProj, wk.incProj)
-		projC := wk.contribution(cfg.Model, stc, wk.accProj, wk.incProj, weights, c)
+		projC := wk.accumulateAt(cfg.Model, stc, &wk.projTree, weights, c)
 		baseC := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
 		wk.uDelta[c] += projC - baseC
 		wk.ws.RevertFlips(&wk.projTree)
@@ -510,17 +577,19 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 // always drawn from tiebreak sets, so in every deployment state a node
 // not marked here receives no traffic over customer edges for this
 // destination: its incoming utility contribution (Eq. 2) is identically
-// zero.
+// zero. The member list is state-independent and memoized on the Static
+// (so cached destinations skip the order scan); marks are cleared via
+// the previous destination's list instead of an O(n) wipe.
 func (wk *worker) markProviderParents(stc *routing.Static) {
-	for i := range wk.provParent {
+	for _, i := range wk.provMarked {
 		wk.provParent[i] = false
 	}
-	for _, i := range stc.Order() {
-		if stc.Type[i] == routing.ProviderRoute {
-			for _, b := range stc.Tiebreak(i) {
-				wk.provParent[b] = true
-			}
-		}
+	pp := stc.ProviderParents()
+	// Copy, not alias: a workspace-owned Static's list is overwritten by
+	// the next PrepareDest, and the clear above must outlive it.
+	wk.provMarked = append(wk.provMarked[:0], pp...)
+	for _, b := range pp {
+		wk.provParent[b] = true
 	}
 }
 
@@ -627,6 +696,61 @@ func (wk *worker) contribution(model UtilityModel, stc *routing.Static, acc, inc
 		return 0 // unreachable: inc[i] may hold a stale value
 	}
 	return inc[i]
+}
+
+// accumulateAt returns candidate c's utility contribution over tree t —
+// equivalent to accumulate followed by contribution at c, but with the
+// floating-point work restricted to c's subtree. A cheap forward pass
+// over the order marks the nodes whose parent chain passes through c;
+// the reverse accumulation then processes only those. Every node in the
+// subtree has all of its tree children in the subtree, and filtering the
+// reverse order preserves each parent's child sequence, so by induction
+// every subtree sum — and hence the returned contribution — is produced
+// by the exact addition sequence of the full accumulate: the result is
+// bit-identical. Typical candidates carry a small fraction of the graph,
+// turning the O(order) float pass into a near-free flag pass.
+func (wk *worker) accumulateAt(model UtilityModel, s *routing.Static, t *routing.Tree, weights []float64, c int32) float64 {
+	if model == Outgoing {
+		if s.Type[c] != routing.CustomerRoute {
+			return 0
+		}
+	} else if s.Type[c] == routing.NoRoute {
+		return 0
+	}
+	mark := wk.subMark
+	acc := wk.accProj
+	sub := wk.subList[:0]
+	order := s.Order()
+	d := t.Dest
+	mark[d] = d == c
+	if d == c {
+		acc[d] = weights[d]
+	}
+	for _, i := range order {
+		m := i == c || mark[t.Parent[i]]
+		mark[i] = m
+		if m {
+			acc[i] = weights[i]
+			sub = append(sub, i)
+		}
+	}
+	wk.subList = sub
+	var incC float64
+	for k := len(sub) - 1; k >= 0; k-- {
+		i := sub[k]
+		if i == c {
+			continue
+		}
+		p := t.Parent[i]
+		acc[p] += acc[i]
+		if p == c && s.Type[i] == routing.ProviderRoute {
+			incC += acc[i]
+		}
+	}
+	if model == Outgoing {
+		return acc[c] - weights[c]
+	}
+	return incC
 }
 
 // accumulate fills acc[i] with the total weight of the subtree rooted at

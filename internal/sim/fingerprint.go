@@ -30,6 +30,9 @@ import (
 //   - RecordUtilities, RecordStats: observability only. Callers that
 //     cache Results should record superset instrumentation (both on) so
 //     one entry serves every requester.
+//   - StaticCacheBytes: a performance/memory knob. Cached statics are
+//     byte-identical to cold computation (see TestStaticCacheResultInvariant),
+//     so the budget cannot change any Result.
 func (c Config) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("sim-v1|")

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+// utilsBitIdentical compares float slices bit for bit (NaN == NaN, so
+// the NaN markers on non-ISP entries compare equal).
+func utilsBitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireBitIdentical fails unless two Results agree on every decision
+// and every recorded utility bit — the strongest equality the engine
+// promises (per-round Stats are instrumentation and excluded).
+func requireBitIdentical(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(decisionsOf(ref), decisionsOf(got)) {
+		t.Errorf("%s: decisions differ", label)
+		return
+	}
+	if !utilsBitIdentical(ref.PristineUtil, got.PristineUtil) {
+		t.Errorf("%s: pristine utilities differ", label)
+	}
+	for r := range ref.Rounds {
+		if !utilsBitIdentical(ref.Rounds[r].UtilBase, got.Rounds[r].UtilBase) {
+			t.Errorf("%s: round %d base utilities differ", label, r)
+		}
+		if !utilsBitIdentical(ref.Rounds[r].UtilProj, got.Rounds[r].UtilProj) {
+			t.Errorf("%s: round %d projected utilities differ", label, r)
+		}
+	}
+}
+
+// TestStaticCacheResultInvariant: the static cache is a pure
+// memoization — any budget (default, disabled, or one small enough to
+// force constant recomputation) produces bit-identical Results,
+// including every recorded utility. This is the invariant that lets
+// Config.Fingerprint exclude StaticCacheBytes.
+func TestStaticCacheResultInvariant(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 7))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+
+	// ~10 KB per snapshot at N=300: a 40 KB budget caches a handful of
+	// destinations and recomputes the rest every round.
+	const tinyBudget = 40_000
+
+	for _, model := range []UtilityModel{Outgoing, Incoming} {
+		for _, projectStubs := range []bool{false, true} {
+			base := Config{
+				Model:               model,
+				Theta:               0.05,
+				EarlyAdopters:       adopters,
+				StubsBreakTies:      true,
+				ProjectStubUpgrades: projectStubs,
+				Workers:             1,
+				RecordUtilities:     true,
+				RecordStats:         true,
+			}
+			label := func(budget int64) string {
+				return model.String() + "/projectstubs=" + map[bool]string{false: "off", true: "on"}[projectStubs] +
+					"/budget=" + map[int64]string{0: "default", -1: "disabled", tinyBudget: "tiny"}[budget]
+			}
+
+			cfgRef := base // budget 0: engine default, fully cached
+			ref := MustNew(g, cfgRef).Run()
+			assertCacheActivity(t, label(0), ref, func(hits, misses int64) bool { return hits > 0 })
+
+			for _, budget := range []int64{-1, tinyBudget} {
+				cfg := base
+				cfg.StaticCacheBytes = budget
+				got := MustNew(g, cfg).Run()
+				requireBitIdentical(t, label(budget), ref, got)
+				if budget < 0 {
+					assertCacheActivity(t, label(budget), got, func(hits, misses int64) bool {
+						return hits == 0 && misses == 0
+					})
+				} else {
+					// The tiny budget must actually force recomputation —
+					// otherwise this subtest silently stops testing evictions.
+					assertCacheActivity(t, label(budget), got, func(hits, misses int64) bool {
+						return misses > hits && misses > 0
+					})
+				}
+			}
+		}
+	}
+}
+
+// assertCacheActivity checks a predicate over the total static-cache
+// hit/miss counters across all recorded rounds.
+func assertCacheActivity(t *testing.T, label string, res *Result, ok func(hits, misses int64) bool) {
+	t.Helper()
+	var hits, misses int64
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			hits += rd.Stats.StaticHits
+			misses += rd.Stats.StaticMisses
+		}
+	}
+	if !ok(hits, misses) {
+		t.Errorf("%s: unexpected static-cache activity: %d hits, %d misses", label, hits, misses)
+	}
+}
+
+// TestStaticCacheSharedAcrossRuns: repeated Run calls on one Sim share
+// the worker caches — the second run's rounds serve statics entirely
+// from snapshots filled by the first.
+func TestStaticCacheSharedAcrossRuns(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(200, 3))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  append(g.Nodes(asgraph.ContentProvider), asgraph.TopByDegree(g, 3, asgraph.ISP)...),
+		StubsBreakTies: true,
+		Workers:        1,
+		RecordStats:    true,
+	}
+	s := MustNew(g, cfg)
+	first := s.Run()
+	second := s.Run()
+	requireBitIdentical(t, "second run", first, second)
+	for r, rd := range second.Rounds {
+		if rd.Stats.StaticMisses != 0 || rd.Stats.StaticHits != int64(g.N()) {
+			t.Fatalf("second run round %d: %d/%d static hits, want all %d from the first run's cache",
+				r, rd.Stats.StaticHits, rd.Stats.StaticHits+rd.Stats.StaticMisses, g.N())
+		}
+	}
+}
+
+// TestStaticCacheFingerprintExcluded: StaticCacheBytes must not enter
+// the config fingerprint (any budget yields the same Result), while
+// trajectory-shaping fields must.
+func TestStaticCacheFingerprintExcluded(t *testing.T) {
+	base := Config{Model: Incoming, Theta: 0.1, EarlyAdopters: []int32{1, 2}}
+	for _, budget := range []int64{-1, 1 << 20, 1 << 40} {
+		c := base
+		c.StaticCacheBytes = budget
+		if c.Fingerprint() != base.Fingerprint() {
+			t.Errorf("StaticCacheBytes=%d changed the fingerprint", budget)
+		}
+	}
+	c := base
+	c.Theta = 0.2
+	if c.Fingerprint() == base.Fingerprint() {
+		t.Error("Theta change did not change the fingerprint")
+	}
+}

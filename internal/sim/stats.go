@@ -26,6 +26,17 @@ type RoundStats struct {
 	Destinations int
 	// Candidates is the number of candidate ISPs evaluated this round.
 	Candidates int
+	// StaticHits and StaticMisses count static-cache lookups this round:
+	// hits served a destination's state-independent routing information
+	// (Observation C.1) from a prior round's snapshot, misses ran the
+	// three-stage BFS. Both stay zero when the cache is disabled
+	// (Config.StaticCacheBytes < 0).
+	StaticHits   int64
+	StaticMisses int64
+	// StaticCacheBytes and StaticCacheEntries snapshot the cache's
+	// accounted size and population across all workers at round end.
+	StaticCacheBytes   int64
+	StaticCacheEntries int
 	// BaseResolutions counts base-state routing tree resolutions (one
 	// per destination).
 	BaseResolutions int64
@@ -83,8 +94,9 @@ func (st *RoundStats) String() string {
 		reusedPct = 100 * float64(st.NodesReused) / float64(tot)
 	}
 	return fmt.Sprintf(
-		"%v, %d dests, %d cands, proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
+		"%v, %d dests, %d cands, static %d/%d hit (%d entries, %dB), proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
 		st.Wall.Round(time.Microsecond), st.Destinations, st.Candidates,
+		st.StaticHits, st.StaticHits+st.StaticMisses, st.StaticCacheEntries, st.StaticCacheBytes,
 		st.ProjResolutions, pairs, resolvedPct,
 		st.SkipZeroUtil, st.SkipInsecureDest, st.SkipDestFlip, st.SkipTurnOff, st.SkipTurnOn,
 		st.ProjUnchanged, reusedPct, st.AllocBytes)

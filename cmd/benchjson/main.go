@@ -7,10 +7,13 @@
 //
 //	benchjson [-bench Round] [-benchtime 5x] [-label pr3] \
 //	          [-o BENCH.json] [packages...]
+//	benchjson -diff OLD.json NEW.json
 //
 // Packages default to ./internal/sim. Fixed iteration counts
 // (-benchtime Nx) make reruns comparable: every sample measures the
-// same number of operations.
+// same number of operations. The -diff mode compares two emitted files
+// benchmark by benchmark — ns/op, B/op, allocs/op with relative deltas
+// — so the committed BENCH_* trajectory audits itself.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -60,8 +64,20 @@ func run() int {
 		benchtime = flag.String("benchtime", "5x", "iterations or duration per benchmark (go test -benchtime)")
 		label     = flag.String("label", "", "revision label recorded in the output")
 		out       = flag.String("o", "", "output file (default stdout)")
+		diffMode  = flag.Bool("diff", false, "compare two emitted JSON files: benchjson -diff OLD NEW")
 	)
 	flag.Parse()
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two files: benchjson -diff OLD NEW")
+			return 2
+		}
+		if err := diff(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		return 0
+	}
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = []string{"./internal/sim"}
@@ -105,6 +121,82 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// diff loads two emitted files and prints a per-benchmark comparison.
+// NEW's benchmark order drives the table; benchmarks present in only
+// one file are listed after it. Equal package+name identifies a pair.
+func diff(w *os.File, oldPath, newPath string) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	labels := func(f *File, path string) string {
+		if f.Label != "" {
+			return f.Label
+		}
+		return path
+	}
+	oldLabel, newLabel := labels(oldF, oldPath), labels(newF, newPath)
+
+	key := func(b Benchmark) string { return b.Pkg + "." + b.Name }
+	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[key(b)] = b
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "benchmark\tns/op %s\tns/op %s\tΔ\tB/op %s\tB/op %s\tΔ\tallocs %s\tallocs %s\tΔ\t\n",
+		oldLabel, newLabel, oldLabel, newLabel, oldLabel, newLabel)
+	matched := map[string]bool{}
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[key(nb)]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\t-\t%d\tnew\t-\t%d\tnew\t\n",
+				nb.Name, nb.NsPerOp, nb.BytesPerOp, nb.AllocsPerOp)
+			continue
+		}
+		matched[key(nb)] = true
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t%d\t%d\t%s\t\n",
+			nb.Name,
+			ob.NsPerOp, nb.NsPerOp, relDelta(ob.NsPerOp, nb.NsPerOp),
+			ob.BytesPerOp, nb.BytesPerOp, relDelta(float64(ob.BytesPerOp), float64(nb.BytesPerOp)),
+			ob.AllocsPerOp, nb.AllocsPerOp, relDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)))
+	}
+	for _, ob := range oldF.Benchmarks {
+		if !matched[key(ob)] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tgone\t%d\t-\tgone\t%d\t-\tgone\t\n",
+				ob.Name, ob.NsPerOp, ob.BytesPerOp, ob.AllocsPerOp)
+		}
+	}
+	return tw.Flush()
+}
+
+// relDelta formats the relative change old → new as a signed percentage.
+func relDelta(before, after float64) string {
+	switch {
+	case before == after:
+		return "="
+	case before == 0:
+		return "+∞"
+	}
+	return fmt.Sprintf("%+.1f%%", (after-before)/before*100)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
 }
 
 // parse scans `go test -bench` output: header lines (goos/goarch/cpu,

@@ -46,6 +46,7 @@ func run() int {
 		quiet    = flag.Bool("quiet", false, "suppress report bodies on stdout (summaries still print)")
 
 		staticCache = flag.Int64("static-cache", 0, "per-simulation static routing cache budget in bytes (0 = engine default, negative = disable)")
+		dynCache    = flag.Int64("dyn-cache", 0, "per-simulation dynamic contribution cache budget in bytes (0 = engine default, negative = disable)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -83,7 +84,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, StaticCacheBytes: *staticCache},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

@@ -41,7 +41,9 @@ func run() int {
 		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		staticCache = flag.Int64("static-cache", 0, "static routing cache budget in bytes (0 = default, negative = disable)")
+		dynCache    = flag.Int64("dyn-cache", 0, "dynamic contribution cache budget in bytes (0 = default, negative = disable)")
 		stats       = flag.Bool("stats", false, "print per-round engine statistics")
+		memStats    = flag.Bool("memstats", false, "sample per-round heap allocation (stop-the-world; implies nothing without -stats)")
 		quiet       = flag.Bool("q", false, "summary only")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -84,7 +86,9 @@ func run() int {
 		Workers:             *workers,
 		MaxRounds:           *maxRounds,
 		StaticCacheBytes:    *staticCache,
+		DynamicCacheBytes:   *dynCache,
 		RecordStats:         *stats,
+		RecordMemStats:      *memStats,
 	}
 	switch *model {
 	case "outgoing":

@@ -42,6 +42,11 @@ type Options struct {
 	// caps the per-Sim budget, negative disables the cache. Performance
 	// knob only — results are bit-identical for every setting.
 	StaticCacheBytes int64
+	// DynamicCacheBytes bounds each simulation's cross-round dynamic
+	// contribution cache (sim.Config.DynamicCacheBytes) with the same
+	// convention: 0 default, positive cap, negative off. Performance
+	// knob only — results are bit-identical for every setting.
+	DynamicCacheBytes int64
 	// Out receives the experiment's report (default io.Discard).
 	Out io.Writer
 
@@ -79,6 +84,7 @@ func (o Options) withDefaults() Options {
 		// NewStore cannot fail without a cache directory.
 		o.store, _ = NewStore("", o.Workers)
 		o.store.StaticCacheBytes = o.StaticCacheBytes
+		o.store.DynamicCacheBytes = o.DynamicCacheBytes
 	}
 	return o
 }

@@ -124,6 +124,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 		return nil, err
 	}
 	store.StaticCacheBytes = opt.StaticCacheBytes
+	store.DynamicCacheBytes = opt.DynamicCacheBytes
 	opt.store = store
 
 	parallel := b.Parallel

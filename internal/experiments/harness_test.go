@@ -122,6 +122,34 @@ func TestGoldenReportsCacheInvariant(t *testing.T) {
 	}
 }
 
+// TestGoldenReportsDynCacheInvariant: the cross-round dynamic
+// contribution cache must be equally invisible — disabled, and under a
+// budget of a handful of record floors (N=1200 puts one record's floor
+// at ≈6.3 KB, so 64 KB holds ~10 destinations and every simulation
+// recomputes the rest each round) — every golden reproduces byte for
+// byte, cold and over a warm store.
+func TestGoldenReportsDynCacheInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice more")
+	}
+	for _, budget := range []int64{-1, 64 << 10} {
+		opt := goldenOptions()
+		opt.DynamicCacheBytes = budget
+		statuses, err := RunBatch(BatchOptions{Options: opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range statuses {
+			if st.Err != nil {
+				t.Fatalf("budget %d: %s failed: %v", budget, st.ID, st.Err)
+			}
+			if !bytes.Equal(st.Report, readGolden(t, st.ID)) {
+				t.Errorf("budget %d: %s report differs from golden", budget, st.ID)
+			}
+		}
+	}
+}
+
 // TestDirectRunMatchesGolden checks the non-batch path (Run with a
 // private store) against the same goldens for a sample of experiments.
 func TestDirectRunMatchesGolden(t *testing.T) {

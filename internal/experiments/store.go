@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
 	"sbgp/internal/sim"
 	"sbgp/internal/topogen"
 )
@@ -42,11 +43,16 @@ type Store struct {
 	// Config.Fingerprint, so it never changes cache keys or Results. Set
 	// it before the first Sim call.
 	StaticCacheBytes int64
+	// DynamicCacheBytes does the same for the cross-round dynamic
+	// contribution cache (sim.Config.DynamicCacheBytes) — also excluded
+	// from Config.Fingerprint, also bit-identical at any setting.
+	DynamicCacheBytes int64
 
 	mu       sync.Mutex
 	graphs   map[GraphKey]*graphEntry
 	sims     map[string]*simEntry
 	graphFPs map[*asgraph.Graph]string
+	statics  map[staticsKey]*routing.SharedStaticCache
 
 	execs    int64 // simulations actually executed (cache misses)
 	requests int64 // total simulation requests
@@ -112,7 +118,37 @@ func NewStore(dir string, workers int) (*Store, error) {
 		graphs:   make(map[GraphKey]*graphEntry),
 		sims:     make(map[string]*simEntry),
 		graphFPs: make(map[*asgraph.Graph]string),
+		statics:  make(map[staticsKey]*routing.SharedStaticCache),
 	}, nil
+}
+
+// staticsKey identifies a shared static store: statics depend on the
+// graph and the tiebreaker (winners), nothing else.
+type staticsKey struct {
+	g  *asgraph.Graph
+	tb string
+}
+
+// sharedStatics returns the graph-level static snapshot store for
+// (g, cfg.Tiebreaker), creating it on first use. Every simulation the
+// store executes on the same graph with the same tiebreaker shares one
+// store, so a θ sweep pays each destination's static BFS once per graph
+// instead of once per Sim — and concurrently running experiments
+// instead of duplicating the snapshots per Sim share one copy.
+func (s *Store) sharedStatics(g *asgraph.Graph, cfg sim.Config) *routing.SharedStaticCache {
+	tb := cfg.Tiebreaker
+	if tb == nil {
+		tb = routing.HashTiebreaker{}
+	}
+	k := staticsKey{g: g, tb: routing.TiebreakerFingerprint(tb)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sc, ok := s.statics[k]
+	if !ok {
+		sc = routing.NewSharedStaticCache(s.StaticCacheBytes)
+		s.statics[k] = sc
+	}
+	return sc
 }
 
 // Graph returns the graph for key, generating (or loading from the
@@ -214,6 +250,14 @@ func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, erro
 	cfg.RecordStats = true
 	if s.StaticCacheBytes != 0 {
 		cfg.StaticCacheBytes = s.StaticCacheBytes
+	}
+	if s.DynamicCacheBytes != 0 {
+		cfg.DynamicCacheBytes = s.DynamicCacheBytes
+	}
+	// Serve statics from a per-graph shared store unless static caching
+	// is disabled outright (negative budget).
+	if s.StaticCacheBytes >= 0 {
+		cfg.SharedStatics = s.sharedStatics(g, cfg)
 	}
 
 	gfp := s.graphFingerprint(g)

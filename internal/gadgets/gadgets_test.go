@@ -1,6 +1,7 @@
 package gadgets
 
 import (
+	"reflect"
 	"testing"
 
 	"sbgp/internal/routing"
@@ -279,6 +280,48 @@ func TestOscillator(t *testing.T) {
 				t.Errorf("round %d: got deployed=%v disabled=%v, want deploy %d",
 					r, rd.Deployed, rd.Disabled, w.node)
 			}
+		}
+	}
+}
+
+// TestOscillatorDynCacheInvariant: an oscillating run is the dynamic
+// cache's hardest trajectory — states recur exactly (maximum replay
+// opportunity) while every round realizes flips (maximum invalidation
+// churn) — and the verdict hangs on exact utility ties at θ=0, where a
+// single ULP of drift would break the cycle. The cached run must
+// reproduce the uncached one's rounds and cycle verdict exactly.
+// (This lives here rather than in internal/sim because the gadget
+// package already depends on sim.)
+func TestOscillatorDynCacheInvariant(t *testing.T) {
+	o := NewOscillator()
+	base := sim.Config{
+		Model:          sim.Incoming,
+		Theta:          0,
+		EarlyAdopters:  o.EarlyAdopters,
+		StubsBreakTies: false,
+		Tiebreaker:     routing.LowestIndex{},
+		MaxRounds:      40,
+	}
+	cfgOff := base
+	cfgOff.DynamicCacheBytes = -1
+	ref := sim.MustNew(o.Graph, cfgOff).Run()
+	got := sim.MustNew(o.Graph, base).Run() // budget 0: cache on at the default
+
+	if got.Oscillated != ref.Oscillated || got.Stable != ref.Stable ||
+		got.CycleStart != ref.CycleStart || got.CycleLen != ref.CycleLen {
+		t.Fatalf("cycle verdict diverges: cached oscillated=%v stable=%v cycle=[%d,+%d), uncached oscillated=%v stable=%v cycle=[%d,+%d)",
+			got.Oscillated, got.Stable, got.CycleStart, got.CycleLen,
+			ref.Oscillated, ref.Stable, ref.CycleStart, ref.CycleLen)
+	}
+	if len(got.Rounds) != len(ref.Rounds) {
+		t.Fatalf("rounds = %d cached vs %d uncached", len(got.Rounds), len(ref.Rounds))
+	}
+	for r := range ref.Rounds {
+		if !reflect.DeepEqual(got.Rounds[r].Deployed, ref.Rounds[r].Deployed) ||
+			!reflect.DeepEqual(got.Rounds[r].Disabled, ref.Rounds[r].Disabled) {
+			t.Errorf("round %d: cached deployed=%v disabled=%v, uncached deployed=%v disabled=%v",
+				r, got.Rounds[r].Deployed, got.Rounds[r].Disabled,
+				ref.Rounds[r].Deployed, ref.Rounds[r].Disabled)
 		}
 	}
 }

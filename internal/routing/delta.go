@@ -84,10 +84,14 @@ func (w *Workspace) PrepareDelta(s *Static) {
 // It returns whether any parent differs from the base tree — when false
 // the projected tree routes identically, so every traffic accumulation
 // over it is bit-equal to the base one — and the number of nodes
-// re-decided (the propagation work). RevertFlips restores t; Apply and
-// Revert calls must alternate. PrepareDelta must have been called for s.
+// re-decided (the propagation work). RevertFlips restores t; a caller
+// that instead wants to keep the projected tree (committing a realized
+// state change rather than probing a hypothetical one) simply skips the
+// Revert — the next ApplyFlips resets the undo log. PrepareDelta must
+// have been called for s.
 func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, flipList []int32, tb Tiebreaker) (changed bool, touched int) {
 	w.undo = w.undo[:0]
+	w.touched = w.touched[:0]
 	pend := w.pend
 	pending := 0
 	push := func(p int32) {
@@ -125,6 +129,7 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		pending--
 		i := s.order[word<<6|b]
 		touched++
+		w.touched = append(w.touched, i)
 		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
 		if !ok || (p == t.Parent[i] && sec == t.Secure[i]) {
 			continue
@@ -143,6 +148,32 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		}
 	}
 	return changed, touched
+}
+
+// UndoSize returns the number of tree entries the preceding ApplyFlips
+// changed (the size of its undo log). Zero means the projected tree is
+// bit-identical to the tree passed in — not even a Secure flag moved.
+func (w *Workspace) UndoSize() int { return len(w.undo) }
+
+// LastTouched returns the nodes the preceding ApplyFlips re-decided —
+// every node whose decision inputs could have changed, whether or not
+// its entry actually did. The destination's own entry (updated directly
+// when it flips, without a decision) is not included. The slice is
+// workspace-owned and overwritten by the next ApplyFlips.
+func (w *Workspace) LastTouched() []int32 { return w.touched }
+
+// ParentMoves appends to dst the nodes whose Parent entry the preceding
+// ApplyFlips actually changed in t — the exact structural difference
+// between the projected tree and the tree passed in (Secure-only
+// changes excluded) — and returns it. Each node appears at most once:
+// the undo log holds one entry per changed node.
+func (w *Workspace) ParentMoves(t *Tree, dst []int32) []int32 {
+	for _, e := range w.undo {
+		if e.parent != t.Parent[e.node] {
+			dst = append(dst, e.node)
+		}
+	}
+	return dst
 }
 
 // RevertFlips undoes the preceding ApplyFlips, restoring t to the base

@@ -148,11 +148,13 @@ type Workspace struct {
 	winBuf     []int32
 
 	// scratch for delta resolution (PrepareDelta / ApplyFlips):
-	// counting-sort cursor, pending-position bitset and undo log. The
-	// dependents index itself lives on the Static being resolved.
-	revCur []int32
-	pend   []uint64
-	undo   []undoEntry
+	// counting-sort cursor, pending-position bitset, undo log and the
+	// re-decided node list of the last ApplyFlips. The dependents index
+	// itself lives on the Static being resolved.
+	revCur  []int32
+	pend    []uint64
+	undo    []undoEntry
+	touched []int32
 }
 
 // NewWorkspace returns a Workspace sized for graph g.

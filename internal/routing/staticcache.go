@@ -1,5 +1,12 @@
 package routing
 
+import (
+	"fmt"
+	"sync"
+
+	"sbgp/internal/asgraph"
+)
+
 // Cross-round static caching (Observation C.1). Everything in a Static
 // — local-preference class, path length, tiebreak sets, processing
 // order, plain-TB winners, delta dependents — depends only on the graph,
@@ -27,13 +34,13 @@ func (s *Static) MemBytes() int64 {
 	t := int64(len(s.tbAdj))
 	const sliceOverhead = 9 * 24 // slice headers in Static plus map/struct slack
 	b := int64(0)
-	b += n                // Type
-	b += 4 * n            // Len
-	b += 4 * (n + 1)      // tbOff
-	b += 4 * t            // tbAdj
+	b += n           // Type
+	b += 4 * n       // Len
+	b += 4 * (n + 1) // tbOff
+	b += 4 * t       // tbAdj
 	b += 4 * int64(len(s.order))
-	b += 4 * n            // pos
-	b += 4 * n            // win (snapshots always carry winners)
+	b += 4 * n       // pos
+	b += 4 * n       // win (snapshots always carry winners)
 	b += 4 * (n + 1) // revOff, counted even before PrepareDelta
 	b += 4 * t       // revAdj, likewise
 	b += 4 * t       // provParents upper bound, likewise
@@ -141,3 +148,121 @@ func (c *StaticCache) Entries() int {
 
 // Full reports whether an admission has ever been rejected for budget.
 func (c *StaticCache) Full() bool { return c != nil && c.full }
+
+// SharedStaticCache is a concurrency-safe, graph-level snapshot store:
+// one per graph, shared by every simulation that runs on it. A Static
+// depends only on (graph, destination, tiebreaker) — never on the
+// deployment state — so once any simulation has paid for a
+// destination's three-stage BFS, the snapshot can serve every later
+// simulation on the same graph. A θ sweep or repeated-run benchmark
+// then pays the static cold start once per graph instead of once per
+// simulation.
+//
+// Published snapshots are fully materialized before insertion (tiebreak
+// winners, delta dependents index, provider parents), so the *Static a
+// reader receives is immutable: every lazy accessor is already a no-op
+// and any goroutine may resolve against it without synchronization.
+// Only the store's own map is guarded.
+//
+// The store is bound to one (graph, tiebreaker) pair on first use;
+// binding a different pair is an error — statics from one graph are
+// meaningless (and winners from one tiebreaker wrong) for another.
+type SharedStaticCache struct {
+	mu sync.RWMutex
+	g  *asgraph.Graph
+	tb string // TiebreakerFingerprint of the bound tiebreaker
+	c  *StaticCache
+}
+
+// NewSharedStaticCache returns an unbound store that admits snapshots
+// until adding one would exceed budget bytes; budget 0 means
+// DefaultStaticCacheBytes.
+func NewSharedStaticCache(budget int64) *SharedStaticCache {
+	if budget == 0 {
+		budget = DefaultStaticCacheBytes
+	}
+	return &SharedStaticCache{c: NewStaticCache(budget)}
+}
+
+// Bind checks the store against the (graph, tiebreaker) pair a caller
+// intends to serve. The first call records the pair; later calls must
+// present the same graph and a tiebreaker with the same fingerprint.
+func (sc *SharedStaticCache) Bind(g *asgraph.Graph, tb Tiebreaker) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fp := TiebreakerFingerprint(tb)
+	if sc.g == nil {
+		sc.g = g
+		sc.tb = fp
+		return nil
+	}
+	if sc.g != g {
+		return fmt.Errorf("shared static cache already bound to a different graph")
+	}
+	if sc.tb != fp {
+		return fmt.Errorf("shared static cache bound to tiebreaker %s, got %s", sc.tb, fp)
+	}
+	return nil
+}
+
+// Get returns the published snapshot for destination d, or nil. A nil
+// store always misses.
+func (sc *SharedStaticCache) Get(d int32) *Static {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Get(d)
+}
+
+// Add materializes s in full (delta dependents, provider parents; the
+// caller's PrepareDest already computed the winners), snapshots it, and
+// publishes the snapshot budget permitting. Two workers that computed
+// the same destination concurrently dedupe here: the loser gets the
+// winner's snapshot back, which is bit-identical to its own. Returns
+// nil when the budget is exhausted — the caller then resolves against
+// its workspace static as usual.
+func (sc *SharedStaticCache) Add(w *Workspace, s *Static) *Static {
+	if sc == nil {
+		return nil
+	}
+	w.PrepareDelta(s)
+	s.ProviderParents()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if got := sc.c.Get(s.Dest); got != nil {
+		return got
+	}
+	return sc.c.Add(s)
+}
+
+// Bytes returns the accounted size of all published snapshots.
+func (sc *SharedStaticCache) Bytes() int64 {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Bytes()
+}
+
+// Entries returns the number of published destinations.
+func (sc *SharedStaticCache) Entries() int {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Entries()
+}
+
+// Full reports whether an admission has ever been rejected for budget.
+func (sc *SharedStaticCache) Full() bool {
+	if sc == nil {
+		return false
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Full()
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
 	"sbgp/internal/topogen"
 )
 
@@ -27,6 +28,11 @@ func benchSim(b *testing.B, n int, model UtilityModel) (*Sim, *deployState) {
 		Theta:          0.05,
 		EarlyAdopters:  adopters,
 		StubsBreakTies: true,
+		// The dynamic cache would turn every iteration after the first
+		// into a pure replay of an unchanged state; disable it so the
+		// Round series keeps measuring the cold per-round engine and
+		// stays comparable across BENCH_pr*.json generations.
+		DynamicCacheBytes: -1,
 	}
 	s := MustNew(g, cfg)
 	st := newDeployState(g.N())
@@ -77,3 +83,74 @@ func BenchmarkRoundOutgoing2500(b *testing.B) { benchComputeRound(b, 2500, Outgo
 // the costliest per-round workload.
 func BenchmarkRoundIncoming1000(b *testing.B) { benchComputeRound(b, 1000, Incoming, true) }
 func BenchmarkRoundIncoming2500(b *testing.B) { benchComputeRound(b, 2500, Incoming, true) }
+
+// Run benchmarks measure a complete multi-round simulation — pristine
+// sweep, candidate rounds until convergence — which is what the
+// cross-round dynamic cache accelerates and what the Round series,
+// restarted from the same state every iteration, cannot observe. Each
+// iteration builds a fresh Sim (engine setup and cache warm-up are part
+// of what a caller pays per run); only topology generation sits outside
+// the loop.
+//
+// The headline benchmarks run in the configuration the experiment
+// harness uses: a graph-level shared static store (Config.SharedStatics)
+// serving every Sim on the graph, warmed here by the warm-up run just
+// as a sweep's first simulation warms it for the rest. The Cold
+// variants drop the store — every iteration pays the full per-Sim
+// static cold start — and the DynOff variants disable the dynamic
+// cache, so the three series separate the two contributions.
+//
+//	go test ./internal/sim -bench 'Run' -benchmem
+func benchRun(b *testing.B, n int, model UtilityModel, dynBudget int64, sharedStatics, seeded bool) {
+	b.Helper()
+	g := topogen.MustGenerate(topogen.Default(n, 42))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{
+		Model:             model,
+		Theta:             0.05,
+		StubsBreakTies:    true,
+		DynamicCacheBytes: dynBudget,
+	}
+	if sharedStatics {
+		cfg.SharedStatics = routing.NewSharedStaticCache(0)
+	}
+	if seeded {
+		cfg.EarlyAdopters = append(g.Nodes(asgraph.ContentProvider),
+			asgraph.TopByDegree(g, 5, asgraph.ISP)...)
+	}
+	// One warm-up run keeps process-global one-offs (lazy runtime and
+	// allocator growth) out of the first timed iteration — and, for the
+	// shared-statics series, populates the store.
+	MustNew(g, cfg).Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustNew(g, cfg).Run()
+	}
+}
+
+func BenchmarkRunOutgoing1000(b *testing.B) { benchRun(b, 1000, Outgoing, 0, true, true) }
+func BenchmarkRunOutgoing2500(b *testing.B) { benchRun(b, 2500, Outgoing, 0, true, true) }
+func BenchmarkRunIncoming1000(b *testing.B) { benchRun(b, 1000, Incoming, 0, true, true) }
+func BenchmarkRunIncoming2500(b *testing.B) { benchRun(b, 2500, Incoming, 0, true, true) }
+
+// Cold variants: no shared static store — the standalone-caller cost,
+// and the configuration the PR 3 baseline (BENCH_pr3_run.json) ran.
+func BenchmarkRunOutgoing2500Cold(b *testing.B) { benchRun(b, 2500, Outgoing, 0, false, true) }
+func BenchmarkRunIncoming2500Cold(b *testing.B) { benchRun(b, 2500, Incoming, 0, false, true) }
+
+// DynOff variants run the headline workloads with the dynamic cache
+// disabled — the in-tree control for what that cache buys.
+func BenchmarkRunOutgoing2500DynOff(b *testing.B) { benchRun(b, 2500, Outgoing, -1, true, true) }
+func BenchmarkRunIncoming2500DynOff(b *testing.B) { benchRun(b, 2500, Incoming, -1, true, true) }
+
+// BenchmarkRunBaseOnly10000 is the paper-scale smoke: with no early
+// adopters nothing ever deploys, so the run is the pristine base sweep
+// plus one decision round over an all-insecure graph at N=10000.
+// Skipped under -short; CI's bench smoke runs it once.
+func BenchmarkRunBaseOnly10000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale run skipped in short mode")
+	}
+	benchRun(b, 10000, Outgoing, 0, false, false)
+}

@@ -127,6 +127,39 @@ type Config struct {
 	// the field is excluded from Fingerprint.
 	StaticCacheBytes int64
 
+	// DynamicCacheBytes bounds the memory of the cross-round dynamic
+	// contribution cache: per-destination records (routing tree plus
+	// memoized utility contributions) that let a round replay every
+	// destination the realized flip set provably did not affect, instead
+	// of recomputing it. 0 means the default budget
+	// (DefaultDynamicCacheBytes, 1 GiB); negative disables the cache and
+	// falls back to full per-destination recomputation each round. On
+	// budget exhaustion the destinations recorded first stay pinned; a
+	// record that outgrows the budget when refreshed is evicted and its
+	// destination recomputed from then on.
+	//
+	// Like StaticCacheBytes this is purely a performance/memory knob:
+	// replayed contributions are the recorded float64 bits and re-summed
+	// in the same order, so every Result is bit-equal at any setting
+	// (enabled, disabled, or forced eviction) and the field is excluded
+	// from Fingerprint.
+	DynamicCacheBytes int64
+
+	// SharedStatics, when non-nil, serves destination statics from a
+	// graph-level store shared across simulations instead of private
+	// per-worker caches (StaticCacheBytes is then ignored — the store
+	// carries its own budget). Every simulation sharing a store must run
+	// on the same graph with the same tiebreaker; New reports an error
+	// otherwise. The store is safe for concurrent simulations.
+	//
+	// Like the cache budgets this is purely a performance knob: a shared
+	// snapshot is bit-identical to cold computation (see
+	// TestSharedStaticsResultInvariant), so the field is excluded from
+	// Fingerprint. Use it when many simulations run on one graph — a θ
+	// sweep pays each destination's three-stage BFS once per graph
+	// instead of once per simulation.
+	SharedStatics *routing.SharedStaticCache
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.
@@ -134,10 +167,17 @@ type Config struct {
 
 	// RecordStats, when true, attaches a RoundStats to every Round:
 	// wall time, resolutions performed versus skipped by each Appendix
-	// C.4 rule, suffix-copy savings, and bytes allocated. The counters
-	// themselves are always maintained; this flag only adds the two
-	// runtime.ReadMemStats calls and the per-round record.
+	// C.4 rule, suffix-copy savings, and cache activity. The counters
+	// themselves are always maintained; this flag only adds the
+	// per-round record.
 	RecordStats bool
+
+	// RecordMemStats additionally fills RoundStats.AllocBytes from two
+	// runtime.ReadMemStats calls per round. ReadMemStats stops the
+	// world, which at small N dominates the round and skews the recorded
+	// wall times, so memory sampling is opt-in and taken outside the
+	// timed section. Implies nothing without RecordStats.
+	RecordMemStats bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,234 @@
+package sim
+
+import "sbgp/internal/routing"
+
+// Cross-round dynamic contribution caching. A round's utility sweep
+// recomputes every destination from scratch even though, near
+// convergence, the realized flip set (deployments, disablements, new
+// simplex stubs) is a handful of ASes whose influence on most
+// destinations' routing trees is provably nil. Each worker therefore
+// keeps, for the destinations it owns (d ≡ w mod nw), a destRecord:
+// the destination's base routing tree kept current across rounds by
+// change propagation (routing.ApplyFlips over the realized flips,
+// committed instead of reverted), the memoized per-ISP base utility
+// contributions, the memoized per-candidate projected deltas, and a
+// witness set — the nodes whose deployment flags the recorded deltas
+// were derived from. On the next round a destination is *clean*, and
+// its contributions replayed verbatim, iff advancing its tree changed
+// no entry, the destination itself did not flip, and no realized flip
+// intersects the witness; otherwise it is reprocessed (using the
+// advanced tree, so even dirty destinations skip the full resolution).
+//
+// Bit-identity with the non-incremental engine holds at any budget:
+//   - The advanced tree equals a fresh resolution bit for bit
+//     (ApplyFlips' contract), so dirty reprocessing is exactly the
+//     cold computation.
+//   - Replayed base contributions are the recorded float64 bits, added
+//     into the same per-worker accumulator in the same ascending
+//     destination order; only identically-zero contributions are
+//     elided, and the accumulators never hold -0.0 (all contributions
+//     are ≥ 0), so x + 0.0 == x bitwise and elision cannot change a
+//     single bit.
+//   - Replayed deltas are recorded verbatim (zeros included) in
+//     candidate-list order, which is ascending and, per the witness
+//     argument, identical to the order a cold round would use.
+// The PR 3 fixed-worker-order merge then reproduces the exact global
+// summation sequence, so uBase/uProj are bit-identical at any worker
+// count and any budget — which is what lets Config.Fingerprint exclude
+// DynamicCacheBytes.
+
+// DefaultDynamicCacheBytes is the default dynamic-cache budget: 1 GiB.
+// A record costs ≈5 bytes per node for the tree plus 16 bytes per
+// nonzero contribution, so N destinations of N nodes need ≈5·N² bytes
+// (~320 MB at N=8000). Larger graphs keep a pinned prefix of
+// destinations and recompute the rest each round.
+const DefaultDynamicCacheBytes = int64(1) << 30
+
+// contribEntry memoizes one node's utility contribution for one
+// destination: the exact float64 the cold engine would have added.
+type contribEntry struct {
+	node int32
+	val  float64
+}
+
+// destRecord is one destination's cross-round cache entry.
+type destRecord struct {
+	dest int32
+	// tree is the destination's base routing tree, advanced in place to
+	// the current deployment state at the start of every round.
+	tree routing.Tree
+	// base holds the nonzero base utility contributions (into uBase) as
+	// of the last recomputation; valid as long as no advancement since
+	// then changed a parent (contributions read only parents, types and
+	// weights).
+	base []contribEntry
+	// delta holds every computed candidate delta (into uDelta),
+	// verbatim including zeros, in candidate-list order.
+	delta []contribEntry
+	// witness are the nodes the recorded deltas depend on besides the
+	// tree itself: every ISP that passes the state-independent
+	// zero-utility test for this destination (its realized flip can
+	// change a skip decision or a flip set), their reachable stub
+	// customers under ProjectStubUpgrades (membership in a projected
+	// flip set reads their deployment flag), and every node re-decided
+	// by a performed projection (its flag feeds the projected
+	// decisions). A realized flip outside tree ∪ witness ∪ {dest}
+	// provably reproduces every skip decision and projection bit for
+	// bit.
+	witness []int32
+	// deltasValid reports whether delta/witness are current: set on
+	// every delta recomputation, cleared when a round advances the tree
+	// or hits the witness without recomputing them (base-only rounds).
+	deltasValid bool
+	// witnessFull flags a witness that outgrew the worker's cap during
+	// recording. The partial set cannot prove anything about a nonempty
+	// flip set, so such a record is conservatively hit by any realized
+	// flip; its deltas still replay across no-flip rounds.
+	witnessFull bool
+	// dirtyStreak counts consecutive candidate rounds whose realized
+	// flips invalidated freshly recorded deltas. Once it reaches
+	// dynDirtyStreakLimit the engine stops paying the recording costs
+	// for this destination (witness building dominates them) until a
+	// round's flip set is small enough — ≤ dynSmallFlipRound, the
+	// near-convergence regime memoization exists for — to make another
+	// attempt worthwhile. Purely a performance heuristic: it only
+	// decides whether contributions are memoized, never what they are.
+	dirtyStreak uint8
+	// bytes is the record's accounted size.
+	bytes int64
+}
+
+const (
+	// dynDirtyStreakLimit and dynSmallFlipRound parameterize the
+	// recording backoff, dynBigJumpFraction the advancement cutover:
+	// a realized flip set larger than n/dynBigJumpFraction (a Run reset,
+	// not a round) makes change propagation costlier than the fresh
+	// resolution it would replace, so record trees are rebuilt by
+	// ResolveInto instead.
+	dynDirtyStreakLimit = 3
+	dynSmallFlipRound   = 16
+	dynBigJumpFraction  = 3
+)
+
+const (
+	dynEntryBytes    = 16  // contribEntry: int32 padded beside a float64
+	dynRecordMinimum = 256 // struct, map cell and slice headers
+)
+
+// dynTreeBytes is the accounted size of a record's tree: Parent (int32)
+// plus Secure (bool) per node.
+func dynTreeBytes(n int) int64 { return 5 * int64(n) }
+
+// memBytes returns the record's accounted size at its current entry
+// counts.
+func (r *destRecord) memBytes(n int) int64 {
+	return dynTreeBytes(n) + dynEntryBytes*int64(len(r.base)+len(r.delta)) +
+		4*int64(len(r.witness)) + dynRecordMinimum
+}
+
+// dynCache is a worker-private budgeted map of destRecords. Like the
+// static cache it is deliberately lock-free: destinations are striped
+// statically across workers, so each worker records exactly the
+// destinations it will process on every future round. Admission is
+// first-fit; a record is evicted only when a refresh outgrows the
+// budget, and an evicted destination is never re-admitted (its size
+// already proved too big once, and pinning keeps behavior
+// deterministic and churn-free).
+type dynCache struct {
+	budget    int64
+	bytes     int64
+	evictions int64 // lifetime evictions, reported as a snapshot
+	entries   map[int32]*destRecord
+	blocked   map[int32]bool
+}
+
+func newDynCache(budget int64) *dynCache {
+	return &dynCache{
+		budget:  budget,
+		entries: make(map[int32]*destRecord),
+		blocked: make(map[int32]bool),
+	}
+}
+
+// get returns the record for destination d, or nil. A nil cache always
+// misses.
+func (c *dynCache) get(d int32) *destRecord {
+	if c == nil {
+		return nil
+	}
+	return c.entries[d]
+}
+
+// admit reserves a record for destination d if its floor size (tree
+// plus overhead, before any entries) fits the remaining budget,
+// returning nil otherwise. The caller resolves the tree and fills the
+// entries, then must call resize to account for them.
+func (c *dynCache) admit(d int32, n int) *destRecord {
+	if c == nil || c.blocked[d] {
+		return nil
+	}
+	floor := dynTreeBytes(n) + dynRecordMinimum
+	if c.bytes+floor > c.budget {
+		return nil
+	}
+	rec := &destRecord{dest: d, bytes: floor}
+	c.entries[d] = rec
+	c.bytes += floor
+	return rec
+}
+
+// resize re-accounts rec after its entries changed. If the cache no
+// longer fits its budget the record is evicted — dropped and its
+// destination blocked from re-admission — and resize reports true.
+func (c *dynCache) resize(rec *destRecord, n int) (evicted bool) {
+	nb := rec.memBytes(n)
+	c.bytes += nb - rec.bytes
+	rec.bytes = nb
+	if c.bytes > c.budget {
+		c.bytes -= nb
+		delete(c.entries, rec.dest)
+		c.blocked[rec.dest] = true
+		c.evictions++
+		return true
+	}
+	return false
+}
+
+// purge drops every record. Used when the deployment state changes in
+// a way that cannot be expressed as a flip set (a tie-break flag moved
+// without its security flag), which change propagation cannot advance
+// across.
+func (c *dynCache) purge() {
+	if c == nil {
+		return
+	}
+	for d := range c.entries {
+		delete(c.entries, d)
+	}
+	c.bytes = 0
+}
+
+// evicted returns the number of records evicted over the cache's
+// lifetime.
+func (c *dynCache) evicted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions
+}
+
+// bytesTotal returns the accounted size of all records.
+func (c *dynCache) bytesTotal() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes
+}
+
+// entryCount returns the number of recorded destinations.
+func (c *dynCache) entryCount() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}

@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/asgraph/asgraphtest"
+	"sbgp/internal/routing"
+	"sbgp/internal/topogen"
+)
+
+// assertDynActivity checks a predicate over the per-round dynamic-cache
+// counters summed across all recorded rounds.
+func assertDynActivity(t *testing.T, label string, res *Result, ok func(clean, dirty, evictions int64) bool) {
+	t.Helper()
+	var clean, dirty, evictions int64
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			clean += int64(rd.Stats.CleanDests)
+			dirty += int64(rd.Stats.DirtyDests)
+			evictions += rd.Stats.DynCacheEvictions
+		}
+	}
+	if !ok(clean, dirty, evictions) {
+		t.Errorf("%s: unexpected dynamic-cache activity: %d clean, %d dirty, %d evictions",
+			label, clean, dirty, evictions)
+	}
+}
+
+// TestDynCacheResultInvariant: the cross-round dynamic cache is a pure
+// memoization — enabled, disabled, or strangled to a budget that forces
+// evictions, the Result is bit-identical to the non-incremental engine,
+// including every recorded utility. This is the invariant that lets
+// Config.Fingerprint exclude DynamicCacheBytes.
+func TestDynCacheResultInvariant(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 7))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+
+	// A record's floor at N=300 is 5·300+256 = 1756 bytes, and that floor
+	// dominates: typical records add only tens of bytes of contribution
+	// entries. Eviction therefore triggers only when the last-admitted
+	// record's entries outgrow a slack smaller than they are — a budget
+	// of k·floor+8 for the right k (one past the leading run of
+	// destinations whose records never grow). The right k depends on the
+	// graph and model, so the test walks a ladder of them and demands
+	// the eviction path fired somewhere; every rung must stay
+	// bit-identical regardless.
+	floor := dynTreeBytes(g.N()) + dynRecordMinimum
+
+	for _, model := range []UtilityModel{Outgoing, Incoming} {
+		for _, projectStubs := range []bool{false, true} {
+			base := Config{
+				Model:               model,
+				Theta:               0.05,
+				EarlyAdopters:       adopters,
+				StubsBreakTies:      true,
+				ProjectStubUpgrades: projectStubs,
+				Workers:             1,
+				RecordUtilities:     true,
+				RecordStats:         true,
+			}
+			label := func(budget int64) string {
+				return fmt.Sprintf("%s/projectstubs=%v/dyn=%d", model, projectStubs, budget)
+			}
+
+			cfgRef := base
+			cfgRef.DynamicCacheBytes = -1 // the non-incremental engine
+			ref := MustNew(g, cfgRef).Run()
+			assertDynActivity(t, label(-1), ref, func(clean, dirty, ev int64) bool {
+				return clean == 0 && dirty == 0 && ev == 0
+			})
+
+			cfg := base // budget 0: engine default
+			got := MustNew(g, cfg).Run()
+			requireBitIdentical(t, label(0), ref, got)
+			// Outgoing witnesses are narrow (the ISPs routing the
+			// destination over a customer edge), so plenty of
+			// destinations replay between ordinary rounds. Incoming
+			// witnesses span most provider-parent ISPs and are hit by
+			// essentially every round's flips; its replay payoff is
+			// repeated states (TestDynCacheRepeatedRoundReplay), so here
+			// only cache engagement is asserted.
+			if model == Outgoing {
+				assertDynActivity(t, label(0), got, func(clean, dirty, ev int64) bool {
+					return clean > 0
+				})
+			} else {
+				assertDynActivity(t, label(0), got, func(clean, dirty, ev int64) bool {
+					return dirty > 0
+				})
+			}
+
+			var evTotal int64
+			for k := int64(1); k <= 16; k++ {
+				budget := k*floor + 8
+				cfg = base
+				cfg.DynamicCacheBytes = budget
+				got = MustNew(g, cfg).Run()
+				requireBitIdentical(t, label(budget), ref, got)
+				assertDynActivity(t, label(budget), got, func(clean, dirty, ev int64) bool {
+					evTotal += ev
+					return true
+				})
+			}
+			// Some rung must actually force evictions — otherwise this
+			// subtest silently stops covering the eviction path.
+			if evTotal == 0 {
+				t.Errorf("%s/projectstubs=%v: no evictions anywhere on the budget ladder",
+					model, projectStubs)
+			}
+		}
+	}
+}
+
+// TestDynCacheAccounting unit-tests the cache's byte accounting and
+// eviction policy directly: admission reserves the record floor, resize
+// re-accounts grown entries, a resize past the budget evicts and
+// permanently blocks the destination, and the counters track all of it.
+func TestDynCacheAccounting(t *testing.T) {
+	const n = 100
+	floor := dynTreeBytes(n) + dynRecordMinimum
+	c := newDynCache(floor + 10*dynEntryBytes)
+
+	rec := c.admit(3, n)
+	if rec == nil {
+		t.Fatal("admit within budget returned nil")
+	}
+	if c.bytesTotal() != floor || c.entryCount() != 1 {
+		t.Fatalf("after admit: %d bytes, %d entries, want %d bytes, 1 entry",
+			c.bytesTotal(), c.entryCount(), floor)
+	}
+	if c.get(3) != rec {
+		t.Fatal("get did not return the admitted record")
+	}
+	if c.admit(4, n) != nil {
+		t.Error("second admit should not fit the remaining budget")
+	}
+
+	// Grow within budget: 10 entries fill it exactly.
+	rec.base = make([]contribEntry, 10)
+	if c.resize(rec, n) {
+		t.Fatal("resize within budget evicted")
+	}
+	if want := floor + 10*dynEntryBytes; c.bytesTotal() != want {
+		t.Fatalf("after resize: %d bytes, want %d", c.bytesTotal(), want)
+	}
+
+	// One more entry breaks the budget: evict and block.
+	rec.base = append(rec.base, contribEntry{})
+	if !c.resize(rec, n) {
+		t.Fatal("resize past budget did not evict")
+	}
+	if c.bytesTotal() != 0 || c.entryCount() != 0 || c.evicted() != 1 {
+		t.Fatalf("after eviction: %d bytes, %d entries, %d evictions, want 0/0/1",
+			c.bytesTotal(), c.entryCount(), c.evicted())
+	}
+	if c.get(3) != nil {
+		t.Error("evicted record still retrievable")
+	}
+	if c.admit(3, n) != nil {
+		t.Error("evicted destination was re-admitted")
+	}
+
+	// Other destinations still fit; purge clears records but keeps the
+	// lifetime eviction count and the block list.
+	if c.admit(5, n) == nil {
+		t.Fatal("fresh destination refused after eviction freed the budget")
+	}
+	c.purge()
+	if c.bytesTotal() != 0 || c.entryCount() != 0 {
+		t.Fatalf("after purge: %d bytes, %d entries", c.bytesTotal(), c.entryCount())
+	}
+	if c.evicted() != 1 {
+		t.Errorf("purge reset the lifetime eviction count: %d", c.evicted())
+	}
+	if c.admit(3, n) != nil {
+		t.Error("purge unblocked an evicted destination")
+	}
+
+	// A nil cache misses and counts nothing.
+	var nc *dynCache
+	if nc.get(1) != nil || nc.admit(1, n) != nil || nc.evicted() != 0 || nc.bytesTotal() != 0 || nc.entryCount() != 0 {
+		t.Error("nil cache is not inert")
+	}
+	nc.purge()
+}
+
+// TestDynCacheQuickDifferential property-tests bit-identity over random
+// graphs: for arbitrary model / tie-break / projection / worker-count
+// combinations, the dynamic cache at the default budget and under a
+// budget tiny enough to evict must reproduce the disabled engine's
+// Result bit for bit — decisions, oscillation verdicts, and every
+// recorded utility.
+func TestDynCacheQuickDifferential(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 6+rng.Intn(20), 0.14, 0.1, 0.25)
+		var adopters []int32
+		for i := int32(0); i < int32(g.N()); i++ {
+			if rng.Float64() < 0.3 {
+				adopters = append(adopters, i)
+			}
+		}
+		cfg := Config{
+			Model:               []UtilityModel{Outgoing, Incoming}[rng.Intn(2)],
+			Theta:               []float64{0, 0.05, 0.2}[rng.Intn(3)],
+			EarlyAdopters:       adopters,
+			StubsBreakTies:      rng.Intn(2) == 0,
+			ProjectStubUpgrades: rng.Intn(2) == 0,
+			Workers:             1 + rng.Intn(3),
+			Tiebreaker:          routing.HashTiebreaker{Seed: uint64(seed)},
+			MaxRounds:           60,
+			RecordUtilities:     true,
+		}
+		cfgOff := cfg
+		cfgOff.DynamicCacheBytes = -1
+		ref := MustNew(g, cfgOff).Run()
+		for _, budget := range []int64{0, 2048} {
+			c := cfg
+			c.DynamicCacheBytes = budget
+			got := MustNew(g, c).Run()
+			if !reflect.DeepEqual(decisionsOf(ref), decisionsOf(got)) {
+				t.Logf("seed %d budget %d: decisions diverge", seed, budget)
+				return false
+			}
+			if got.Oscillated != ref.Oscillated || got.CycleStart != ref.CycleStart || got.CycleLen != ref.CycleLen {
+				t.Logf("seed %d budget %d: oscillation verdict diverges", seed, budget)
+				return false
+			}
+			if !utilsBitIdentical(ref.PristineUtil, got.PristineUtil) {
+				t.Logf("seed %d budget %d: pristine utilities diverge", seed, budget)
+				return false
+			}
+			for r := range ref.Rounds {
+				if !utilsBitIdentical(ref.Rounds[r].UtilBase, got.Rounds[r].UtilBase) ||
+					!utilsBitIdentical(ref.Rounds[r].UtilProj, got.Rounds[r].UtilProj) {
+					t.Logf("seed %d budget %d: round %d utilities diverge", seed, budget, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDynCacheRepeatedRoundReplay: re-evaluating the same state must
+// replay every destination — the second identical round does no
+// resolution work at all and reproduces the first's floats bit for bit.
+func TestDynCacheRepeatedRoundReplay(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(250, 11))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{
+		Model:          Incoming,
+		Theta:          0.05,
+		StubsBreakTies: true,
+		Workers:        2,
+		RecordStats:    true,
+	}
+	s := MustNew(g, cfg)
+	secure := make([]bool, g.N())
+	for _, a := range append(g.Nodes(asgraph.ContentProvider), asgraph.TopByDegree(g, 5, asgraph.ISP)...) {
+		secure[a] = true
+	}
+	uBase1, uProj1, _, err := s.RoundUtilities(secure, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := append([]float64(nil), uBase1...)
+	p1 := append([]float64(nil), uProj1...)
+	uBase2, uProj2, stats, err := s.RoundUtilities(secure, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !utilsBitIdentical(b1, uBase2) || !utilsBitIdentical(p1, uProj2) {
+		t.Error("replayed round diverges from the computed one")
+	}
+	if stats.CleanDests != g.N() || stats.DirtyDests != 0 {
+		t.Errorf("second identical round: %d clean, %d dirty, want all %d clean",
+			stats.CleanDests, stats.DirtyDests, g.N())
+	}
+	if stats.BaseResolutions != 0 || stats.ProjResolutions != 0 {
+		t.Errorf("second identical round resolved %d base, %d projected trees, want none",
+			stats.BaseResolutions, stats.ProjResolutions)
+	}
+}
+
+// TestDynCacheFingerprintExcluded: DynamicCacheBytes and the
+// observability toggles must not enter the config fingerprint.
+func TestDynCacheFingerprintExcluded(t *testing.T) {
+	base := Config{Model: Incoming, Theta: 0.1, EarlyAdopters: []int32{1, 2}}
+	for _, budget := range []int64{-1, 1 << 20, 1 << 40} {
+		c := base
+		c.DynamicCacheBytes = budget
+		if c.Fingerprint() != base.Fingerprint() {
+			t.Errorf("DynamicCacheBytes=%d changed the fingerprint", budget)
+		}
+	}
+	c := base
+	c.RecordMemStats = true
+	if c.Fingerprint() != base.Fingerprint() {
+		t.Error("RecordMemStats changed the fingerprint")
+	}
+}
+
+// TestRecordMemStatsDecisions: memory sampling is observability only —
+// decisions are identical with stats off, with RecordStats, and with
+// RecordStats+RecordMemStats; AllocBytes is recorded only when asked
+// for (the ReadMemStats pair stops the world and would skew Wall).
+func TestRecordMemStatsDecisions(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 5))
+	g.SetCPTrafficFraction(0.10)
+	base := Config{
+		Model:          Outgoing,
+		Theta:          0.05,
+		EarlyAdopters:  append(g.Nodes(asgraph.ContentProvider), asgraph.TopByDegree(g, 3, asgraph.ISP)...),
+		StubsBreakTies: true,
+		Workers:        1,
+	}
+	ref := MustNew(g, base).Run()
+
+	cfg := base
+	cfg.RecordStats = true
+	statsOn := MustNew(g, cfg).Run()
+	if !reflect.DeepEqual(decisionsOf(ref), decisionsOf(statsOn)) {
+		t.Error("RecordStats changed decisions")
+	}
+	for r, rd := range statsOn.Rounds {
+		if rd.Stats == nil {
+			t.Fatalf("round %d: RecordStats set but no stats recorded", r)
+		}
+		if rd.Stats.AllocBytes != 0 {
+			t.Errorf("round %d: AllocBytes=%d recorded without RecordMemStats", r, rd.Stats.AllocBytes)
+		}
+	}
+
+	cfg.RecordMemStats = true
+	memOn := MustNew(g, cfg).Run()
+	if !reflect.DeepEqual(decisionsOf(ref), decisionsOf(memOn)) {
+		t.Error("RecordMemStats changed decisions")
+	}
+}

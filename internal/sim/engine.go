@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -30,6 +31,19 @@ type Sim struct {
 	candList []int32
 	candBuf  []bool
 	scratch  *deployState // state builder for RoundUtilities
+
+	// Cross-round dynamic-cache state (see dyncache.go). dynPrev is the
+	// deployment state every record's tree currently corresponds to;
+	// each computeRound diffs it against the incoming state to derive
+	// the realized flip set, advances the records, and snapshots the new
+	// state back. Diffing (rather than collecting Run's flip lists)
+	// keeps the invariant under arbitrary state jumps: repeated Run
+	// calls, RoundUtilities probes, the pristine pass.
+	dynOn         bool
+	dynPrev       *deployState
+	dynFlips      []int32
+	dynFlipMark   []bool
+	dynFlipBreaks []bool
 }
 
 // New validates the configuration against the graph and returns a
@@ -80,11 +94,38 @@ func New(g *asgraph.Graph, cfg Config) (*Sim, error) {
 			perWorker = 1
 		}
 	}
+	// Dynamic-cache budget: split the same way. Worker-private records
+	// mean admission differs across pool sizes, but replay is
+	// bit-identical to recomputation, so only performance varies.
+	dynBudget := cfg.DynamicCacheBytes
+	if dynBudget == 0 {
+		dynBudget = DefaultDynamicCacheBytes
+	}
+	perWorkerDyn := int64(0)
+	if dynBudget > 0 {
+		perWorkerDyn = dynBudget / int64(nw)
+		if perWorkerDyn == 0 {
+			perWorkerDyn = 1
+		}
+	}
+	s.dynOn = perWorkerDyn > 0
+	// A shared graph-level static store replaces the private per-worker
+	// caches entirely; it must be serving this graph and tiebreaker.
+	if cfg.SharedStatics != nil {
+		if err := cfg.SharedStatics.Bind(g, cfg.Tiebreaker); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	s.pool = make([]*worker, nw)
 	for w := range s.pool {
 		s.pool[w] = newWorker(g, n)
-		if perWorker > 0 {
+		if cfg.SharedStatics != nil {
+			s.pool[w].shared = cfg.SharedStatics
+		} else if perWorker > 0 {
 			s.pool[w].cache = routing.NewStaticCache(perWorker)
+		}
+		if perWorkerDyn > 0 {
+			s.pool[w].dyn = newDynCache(perWorkerDyn)
 		}
 	}
 	s.uBase = make([]float64, n)
@@ -290,12 +331,17 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 	cfg := s.cfg
 	n := s.g.N()
 
+	// Memory sampling is a stop-the-world ReadMemStats pair; it is taken
+	// outside the timed section (before started, after Wall) and only on
+	// request, so RecordStats alone never skews the recorded wall times.
 	var memBefore uint64
-	var started time.Time
-	if cfg.RecordStats {
+	if cfg.RecordStats && cfg.RecordMemStats {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
 		memBefore = m.TotalAlloc
+	}
+	var started time.Time
+	if cfg.RecordStats {
 		started = time.Now()
 	}
 
@@ -311,6 +357,11 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 	}
 	s.candList = candList
 
+	rc := &roundCtx{st: st, candList: candList, cfg: &cfg, weights: s.weights}
+	if s.dynOn {
+		s.syncDyn(st, rc)
+	}
+
 	// Destinations are striped statically (worker w handles d ≡ w mod nw)
 	// and the per-worker partial sums are merged in worker order, so the
 	// floating-point summation order — and therefore every simulation
@@ -324,11 +375,14 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			wk := s.pool[w]
 			wk.resetRound(n)
 			for d := int32(w); int(d) < n; d += int32(nw) {
-				wk.processDest(d, st, candList, cfg, s.weights)
+				wk.processDest(d, rc)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if s.dynOn {
+		s.saveDyn(st)
+	}
 
 	// Merge the per-worker partial sums, sharded by utility index across
 	// goroutines. Each index sums over workers in pool order and then
@@ -374,6 +428,10 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			Destinations: n,
 			Candidates:   len(candList),
 		}
+		if shared := s.pool[0].shared; shared != nil {
+			stats.StaticCacheBytes = shared.Bytes()
+			stats.StaticCacheEntries = shared.Entries()
+		}
 		for _, wk := range s.pool {
 			stats.StaticHits += wk.stats.staticHits
 			stats.StaticMisses += wk.stats.staticMisses
@@ -389,12 +447,105 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			stats.SkipTurnOn += wk.stats.skipTurnOn
 			stats.NodesReused += wk.stats.nodesReused
 			stats.NodesRecomputed += wk.stats.nodesRecomputed
+			stats.DirtyDests += int(wk.stats.dynDirty)
+			stats.CleanDests += int(wk.stats.dynClean)
+			stats.DynCacheEvictions += wk.dyn.evicted()
+			stats.DynCacheBytes += wk.dyn.bytesTotal()
+			stats.DynCacheEntries += wk.dyn.entryCount()
 		}
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		stats.AllocBytes = m.TotalAlloc - memBefore
+		if cfg.RecordMemStats {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			stats.AllocBytes = m.TotalAlloc - memBefore
+		}
 	}
 	return uBase, uProj, stats
+}
+
+// roundCtx bundles the inputs every worker reads during one round:
+// the deployment state, the candidate list, and — when the dynamic
+// cache is active — the realized flip set since the state the cached
+// records correspond to. All fields are read-only while workers run.
+type roundCtx struct {
+	st       *deployState
+	candList []int32
+	cfg      *Config
+	weights  []float64
+
+	// Realized flips dynPrev → st (empty when the states coincide or
+	// the cache holds no records). prevSecure/prevBreaks are the flags
+	// of dynPrev — the state every record's tree is resolved for — and
+	// flipBreaks[f] carries f's tie-break flag in st for flips that turn
+	// on (ApplyFlips hardcodes "never breaks ties" for turn-offs,
+	// matching deployState.unset).
+	flipList   []int32
+	flipMark   []bool
+	flipBreaks []bool
+	prevSecure []bool
+	prevBreaks []bool
+	// bigJump marks a flip set so large (a Run reset rather than a
+	// round) that advancing record trees by change propagation would
+	// cost more than resolving them afresh; processDest then rebuilds
+	// instead of advancing — the same bits either way.
+	bigJump bool
+}
+
+// syncDyn derives the realized flip set by diffing the incoming state
+// against dynPrev and publishes it in rc. A tie-break flag changing
+// without its security flag cannot be expressed as a flip, so that
+// (never produced by set/unset under a fixed config, but reachable
+// through RoundUtilities on exotic inputs) purges every record instead.
+func (s *Sim) syncDyn(st *deployState, rc *roundCtx) {
+	n := len(st.secure)
+	if s.dynPrev == nil {
+		// First round ever: no records exist yet, so any flip set is
+		// vacuously correct — publish an empty one.
+		s.dynFlipMark = make([]bool, n)
+		s.dynFlipBreaks = make([]bool, n)
+		s.dynPrev = st.clone()
+	}
+	for _, f := range s.dynFlips {
+		s.dynFlipMark[f] = false
+		s.dynFlipBreaks[f] = false
+	}
+	s.dynFlips = s.dynFlips[:0]
+	purge := false
+	for i := 0; i < n; i++ {
+		if st.secure[i] != s.dynPrev.secure[i] {
+			s.dynFlips = append(s.dynFlips, int32(i))
+			s.dynFlipMark[i] = true
+			s.dynFlipBreaks[i] = st.breaks[i]
+		} else if st.breaks[i] != s.dynPrev.breaks[i] {
+			purge = true
+		}
+	}
+	if purge {
+		for _, wk := range s.pool {
+			wk.dyn.purge()
+		}
+		for _, f := range s.dynFlips {
+			s.dynFlipMark[f] = false
+			s.dynFlipBreaks[f] = false
+		}
+		s.dynFlips = s.dynFlips[:0]
+		s.saveDyn(st)
+	}
+	rc.flipList = s.dynFlips
+	rc.flipMark = s.dynFlipMark
+	rc.flipBreaks = s.dynFlipBreaks
+	rc.prevSecure = s.dynPrev.secure
+	rc.prevBreaks = s.dynPrev.breaks
+	rc.bigJump = len(rc.flipList) > n/dynBigJumpFraction
+}
+
+// saveDyn snapshots st as the state the record trees now correspond to.
+func (s *Sim) saveDyn(st *deployState) {
+	if s.dynPrev == nil {
+		s.dynPrev = st.clone()
+		return
+	}
+	copy(s.dynPrev.secure, st.secure)
+	copy(s.dynPrev.breaks, st.breaks)
 }
 
 // worker holds all per-goroutine scratch state so that destination
@@ -402,16 +553,23 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 // reused across rounds; resetRound rezeroes the per-round accumulators.
 type worker struct {
 	ws          *routing.Workspace
-	cache       *routing.StaticCache // per-worker static snapshots; nil = disabled
-	isps        []int32              // shared class index list (asgraph.Graph.ISPs)
+	cache       *routing.StaticCache       // per-worker static snapshots; nil = disabled
+	shared      *routing.SharedStaticCache // graph-level store; replaces cache when set
+	dyn         *dynCache                  // per-worker contribution records; nil = disabled
+	isps        []int32                    // shared class index list (asgraph.Graph.ISPs)
 	baseTree    routing.Tree
 	projTree    routing.Tree
 	accBase     []float64
 	incBase     []float64
 	accProj     []float64
 	incProj     []float64
-	subMark     []bool
-	subList     []int32
+	movedMark   []bool   // accumulateAt: marks of the projection's parent moves
+	movedBuf    []int32  // accumulateAt: the parent-move list itself
+	subList     []int32  // accumulateAt: subtree expansion stack
+	subPosBits  []uint64 // accumulateAt: bitset of collected order positions
+	childOff    []int32  // base-tree child index (CSR offsets), per destination
+	childCur    []int32
+	childList   []int32
 	uBase       []float64
 	uDelta      []float64
 	flipMark    []bool
@@ -419,6 +577,8 @@ type worker struct {
 	flipScratch []int32
 	provParent  []bool
 	provMarked  []int32
+	witMark     []bool // dedup marks while building a record's witness
+	witCap      int    // witness size cap: n/4 plus slack
 	stats       workerStats
 }
 
@@ -439,6 +599,8 @@ type workerStats struct {
 	skipTurnOn       int64
 	nodesReused      int64
 	nodesRecomputed  int64
+	dynClean         int64
+	dynDirty         int64
 }
 
 func newWorker(g *asgraph.Graph, n int) *worker {
@@ -449,12 +611,15 @@ func newWorker(g *asgraph.Graph, n int) *worker {
 		incBase:    make([]float64, n),
 		accProj:    make([]float64, n),
 		incProj:    make([]float64, n),
-		subMark:    make([]bool, n),
+		movedMark:  make([]bool, n),
+		subPosBits: make([]uint64, (n+63)/64),
 		uBase:      make([]float64, n),
 		uDelta:     make([]float64, n),
 		flipMark:   make([]bool, n),
 		flipBreaks: make([]bool, n),
 		provParent: make([]bool, n),
+		witMark:    make([]bool, n),
+		witCap:     n/4 + 16,
 	}
 }
 
@@ -469,45 +634,158 @@ func (wk *worker) resetRound(n int) {
 }
 
 // processDest handles one destination: base utilities for every ISP and
-// projected deltas for the candidates that survive the skip rules.
-func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Config, weights []float64) {
+// projected deltas for the candidates that survive the skip rules. With
+// a dynamic-cache record, clean destinations replay their memoized
+// contributions; dirty ones are recomputed against the record's tree,
+// already advanced to the current state.
+func (wk *worker) processDest(d int32, rc *roundCtx) {
+	cfg := rc.cfg
+	st := rc.st
+	weights := rc.weights
 	g := wk.ws.Graph()
+	n := g.N()
 	// Static routing information is deployment-state independent
 	// (Observation C.1): serve it from the worker's snapshot cache when
 	// possible and run the three-stage BFS only on a miss. On a miss the
 	// fresh snapshot is admitted budget permitting and used directly, so
 	// the lazily built delta index lands on the cached copy.
 	stc := wk.cache.Get(d)
+	if stc == nil {
+		stc = wk.shared.Get(d)
+	}
 	if stc != nil {
 		wk.stats.staticHits++
 	} else {
 		stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
-		if wk.cache != nil {
+		switch {
+		case wk.shared != nil:
+			wk.stats.staticMisses++
+			if snap := wk.shared.Add(wk.ws, stc); snap != nil {
+				stc = snap
+			}
+		case wk.cache != nil:
 			wk.stats.staticMisses++
 			if snap := wk.cache.Add(stc); snap != nil {
 				stc = snap
 			}
 		}
 	}
-	wk.baseTree.Clear(g.N())
-	wk.ws.ResolveInto(&wk.baseTree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
-	wk.stats.baseResolutions++
-	accumulate(stc, &wk.baseTree, weights, wk.accBase, wk.incBase)
+
+	// Dynamic cache: advance the record's tree across the realized flips
+	// and replay the memoized contributions if nothing they depend on
+	// moved (see dyncache.go for the validity argument).
+	rec := wk.dyn.get(d)
+	tree := &wk.baseTree
+	treeCurrent := false
+	// baseValid: the record's memoized base contributions still match
+	// the (advanced) tree — no parent moved since they were recorded —
+	// so a dirty destination can replay them and skip the O(n) base
+	// accumulation; only the candidate deltas need recomputing. This is
+	// the common dirty case: a realized flip's Secure-only ripple
+	// invalidates deltas in most trees it reaches without moving a
+	// single parent edge.
+	baseValid := false
+	if rec != nil {
+		tree = &rec.tree
+		var parentsChanged, treeChanged, hit bool
+		if rc.bigJump {
+			// Advancing across a Run reset would propagate more changes
+			// than a fresh resolution: fall through to the rebuild below
+			// (into the record's tree — same bits either way) with
+			// everything conservatively invalidated.
+			parentsChanged, treeChanged, hit = true, true, true
+		} else {
+			parentsChanged, treeChanged, hit = wk.advanceRecord(rec, stc, rc)
+			treeCurrent = true
+		}
+		if len(rc.candList) == 0 {
+			if !parentsChanged {
+				for _, e := range rec.base {
+					wk.uBase[e.node] += e.val
+				}
+				if treeChanged || hit {
+					rec.deltasValid = false
+				}
+				wk.stats.dynClean++
+				return
+			}
+			rec.deltasValid = false
+		} else if !treeChanged && !hit && rec.deltasValid {
+			for _, e := range rec.base {
+				wk.uBase[e.node] += e.val
+			}
+			for _, e := range rec.delta {
+				wk.uDelta[e.node] += e.val
+			}
+			rec.dirtyStreak = 0
+			wk.stats.dynClean++
+			return
+		} else {
+			baseValid = treeCurrent && !parentsChanged
+			if rec.deltasValid && !rc.bigJump && rec.dirtyStreak < 255 {
+				// Freshly recorded deltas died to an ordinary round's
+				// flips: remember, so the recording backoff can kick in.
+				rec.dirtyStreak++
+			}
+		}
+	} else if wk.dyn != nil {
+		if rec = wk.dyn.admit(d, n); rec != nil {
+			tree = &rec.tree
+		}
+	}
+	if wk.dyn != nil {
+		wk.stats.dynDirty++
+	}
+
+	if !treeCurrent {
+		tree.Clear(n)
+		wk.ws.ResolveInto(tree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
+		wk.stats.baseResolutions++
+	}
 
 	// Base utility contributions, over the precomputed ISP index list —
 	// scanning all n nodes per destination was an O(n²)-per-round cost.
-	for _, i := range wk.isps {
-		wk.uBase[i] += wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
+	// Only nonzero contributions are recorded: the accumulators never
+	// hold -0.0, so eliding +0.0 additions on replay is bit-safe.
+	// Deltas and their witness are recorded only while the backoff
+	// allows: a record whose memos keep dying to the flip churn stops
+	// paying the recording costs until the flip sets shrink toward the
+	// near-convergence regime (see destRecord.dirtyStreak).
+	recBase := rec != nil
+	recDeltas := recBase && (rec.dirtyStreak < dynDirtyStreakLimit || len(rc.flipList) <= dynSmallFlipRound)
+	if baseValid {
+		// Contributions read only parents, types and weights, none of
+		// which moved: the recorded floats are the ones the fresh loop
+		// below would produce, added in the same order.
+		for _, e := range rec.base {
+			wk.uBase[e.node] += e.val
+		}
+	} else {
+		accumulate(stc, tree, weights, wk.accBase, wk.incBase)
+		if recBase {
+			rec.base = rec.base[:0]
+		}
+		for _, i := range wk.isps {
+			v := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
+			wk.uBase[i] += v
+			if recBase && v != 0 {
+				rec.base = append(rec.base, contribEntry{i, v})
+			}
+		}
 	}
 
-	if len(candList) == 0 {
+	if len(rc.candList) == 0 {
+		if recBase {
+			rec.deltasValid = false
+			wk.dyn.resize(rec, n)
+		}
 		return
 	}
 
 	// anySecurePath: does anyone other than d have a fully secure path?
 	anySecurePath := false
 	for _, i := range stc.Order() {
-		if wk.baseTree.Secure[i] {
+		if tree.Secure[i] {
 			anySecurePath = true
 			break
 		}
@@ -517,12 +795,22 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 		wk.markProviderParents(stc)
 	}
 
+	if recDeltas {
+		rec.delta = rec.delta[:0]
+		wk.beginWitness(rec, stc, cfg)
+	}
+
 	// The dependents index and the base-tree copy that change propagation
 	// works on are built lazily, only if some candidate survives the skip
 	// rules for this destination.
 	deltaReady := false
+	// On the baseValid path accBase/incBase are stale (the accumulation
+	// was skipped); candidates read their base contribution from the
+	// record instead. rec.base and candList are both ascending, so a
+	// single forward cursor serves every lookup.
+	baseIdx := 0
 
-	for _, c := range candList {
+	for _, c := range rc.candList {
 		// Zero-utility skip: a candidate whose utility contribution for
 		// this destination is identically zero in every deployment state
 		// cannot see a delta, so the pair needs no resolution at all.
@@ -541,13 +829,14 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 			continue
 		}
 		flips := wk.flipSetFor(st, cfg, c)
-		if !wk.flipCanChangeTree(stc, st, cfg, c, d, flips, anySecurePath) {
+		if !wk.flipCanChangeTree(stc, tree, st, cfg, c, d, flips, anySecurePath) {
 			wk.clearFlips(flips)
 			continue
 		}
 		if !deltaReady {
 			wk.ws.PrepareDelta(stc)
-			wk.projTree.CopyFrom(&wk.baseTree)
+			wk.projTree.CopyFrom(tree)
+			wk.buildChildIndex(stc, tree, n)
 			deltaReady = true
 		}
 		parentsChanged, touched := wk.ws.ApplyFlips(&wk.projTree, stc,
@@ -556,6 +845,11 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 		wk.stats.projResolutions++
 		wk.stats.nodesRecomputed += int64(touched)
 		wk.stats.nodesReused += int64(len(stc.Order()) - touched)
+		if recDeltas && !rec.witnessFull {
+			for _, t := range wk.ws.LastTouched() {
+				wk.addWitness(rec, t)
+			}
+		}
 		if !parentsChanged {
 			// The projected tree routes identically to the base tree
 			// (only Secure flags differ), so every traffic accumulation
@@ -565,10 +859,140 @@ func (wk *worker) processDest(d int32, st *deployState, candList []int32, cfg Co
 			wk.ws.RevertFlips(&wk.projTree)
 			continue
 		}
-		projC := wk.accumulateAt(cfg.Model, stc, &wk.projTree, weights, c)
-		baseC := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
-		wk.uDelta[c] += projC - baseC
+		wk.movedBuf = wk.ws.ParentMoves(&wk.projTree, wk.movedBuf[:0])
+		projC := wk.accumulateAt(cfg.Model, stc, &wk.projTree, weights, c, wk.movedBuf)
+		var baseC float64
+		if baseValid {
+			for baseIdx < len(rec.base) && rec.base[baseIdx].node < c {
+				baseIdx++
+			}
+			if baseIdx < len(rec.base) && rec.base[baseIdx].node == c {
+				baseC = rec.base[baseIdx].val
+			}
+		} else {
+			baseC = wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
+		}
+		v := projC - baseC
+		wk.uDelta[c] += v
+		if recDeltas {
+			rec.delta = append(rec.delta, contribEntry{c, v})
+		}
 		wk.ws.RevertFlips(&wk.projTree)
+	}
+
+	if recDeltas {
+		wk.endWitness(rec)
+		if rec.witnessFull {
+			// The witness outgrew its cap: drop it, but keep the deltas —
+			// they stay replayable for rounds with no realized flips at
+			// all (advanceRecord treats a full witness as hit by any
+			// nonempty flip set).
+			rec.witness = rec.witness[:0]
+		}
+		rec.deltasValid = true
+		wk.dyn.resize(rec, n)
+	} else if recBase {
+		rec.deltasValid = false
+		rec.delta = rec.delta[:0]
+		rec.witness = rec.witness[:0]
+		wk.dyn.resize(rec, n)
+	}
+}
+
+// advanceRecord brings rec.tree from the previous round's deployment
+// state to the current one by change propagation over the realized flip
+// set — bit-identical to a fresh resolution, by ApplyFlips' contract,
+// and the undo log is deliberately abandoned (the change is real, not a
+// projection). It reports what survives: parentsChanged invalidates the
+// memoized base contributions (they read only parents), treeChanged
+// (any entry at all, Secure flags included) or a witness hit — the
+// destination itself or a witness node flipping — invalidates the
+// memoized deltas.
+func (wk *worker) advanceRecord(rec *destRecord, stc *routing.Static, rc *roundCtx) (parentsChanged, treeChanged, hit bool) {
+	if len(rc.flipList) == 0 {
+		return false, false, false
+	}
+	wk.ws.PrepareDelta(stc)
+	parentsChanged, _ = wk.ws.ApplyFlips(&rec.tree, stc,
+		rc.prevSecure, rc.prevBreaks, rc.flipMark, rc.flipBreaks, rc.flipList, rc.cfg.Tiebreaker)
+	treeChanged = wk.ws.UndoSize() > 0
+	if rc.flipMark[rec.dest] {
+		hit = true
+	} else if rec.deltasValid {
+		if rec.witnessFull {
+			hit = true
+		} else {
+			for _, w := range rec.witness {
+				if rc.flipMark[w] {
+					hit = true
+					break
+				}
+			}
+		}
+	}
+	return parentsChanged, treeChanged, hit
+}
+
+// beginWitness starts rebuilding rec's witness set with its
+// state-independent core: every ISP that passes the zero-utility test
+// for this destination — whether or not it is a candidate right now —
+// since such an ISP flipping can change its own skip decisions, flip
+// set or candidacy; plus, under ProjectStubUpgrades, those ISPs'
+// reachable stub customers, whose deployment flag decides their
+// membership in a projected flip set (unreachable stubs are invisible
+// to the resolution and the C.4 checks, so they cannot matter).
+// Projection touched sets are added per candidate as the round runs.
+func (wk *worker) beginWitness(rec *destRecord, stc *routing.Static, cfg *Config) {
+	rec.witness = rec.witness[:0]
+	rec.witnessFull = false
+	g := wk.ws.Graph()
+	if cfg.Model == Outgoing {
+		for _, i := range wk.isps {
+			if stc.Type[i] == routing.CustomerRoute {
+				wk.addWitness(rec, i)
+			}
+		}
+	} else {
+		for _, b := range stc.ProviderParents() {
+			if g.IsISP(b) {
+				wk.addWitness(rec, b)
+			}
+		}
+	}
+	if cfg.ProjectStubUpgrades {
+		potentials := rec.witness
+		for _, c := range potentials {
+			for _, s := range g.Customers(c) {
+				if g.IsStub(s) && stc.Pos(s) >= 0 {
+					wk.addWitness(rec, s)
+				}
+			}
+		}
+	}
+}
+
+// addWitness appends node i to rec's witness set unless already present
+// or the set has outgrown the worker's cap (a witness touching a large
+// fraction of the graph is hit by essentially every round's flips, so
+// the memory and bookkeeping it costs can never pay off).
+func (wk *worker) addWitness(rec *destRecord, i int32) {
+	if rec.witnessFull {
+		return
+	}
+	if len(rec.witness) >= wk.witCap {
+		rec.witnessFull = true
+		return
+	}
+	if !wk.witMark[i] {
+		wk.witMark[i] = true
+		rec.witness = append(rec.witness, i)
+	}
+}
+
+// endWitness clears the dedup marks via the built list.
+func (wk *worker) endWitness(rec *destRecord) {
+	for _, i := range rec.witness {
+		wk.witMark[i] = false
 	}
 }
 
@@ -599,7 +1023,7 @@ func (wk *worker) markProviderParents(stc *routing.Static) {
 // the tie-break policy each member would have in the realized flipped
 // state: ISPs always break ties once secure, stubs only under
 // StubsBreakTies (mirroring deployState.set).
-func (wk *worker) flipSetFor(st *deployState, cfg Config, c int32) []int32 {
+func (wk *worker) flipSetFor(st *deployState, cfg *Config, c int32) []int32 {
 	g := wk.ws.Graph()
 	wk.flipScratch = wk.flipScratch[:0]
 	wk.flipScratch = append(wk.flipScratch, c)
@@ -626,9 +1050,9 @@ func (wk *worker) clearFlips(flips []int32) {
 
 // flipCanChangeTree implements the Appendix C.4 skip rules: it reports
 // whether flipping candidate c (with projected flip set flips) could
-// possibly alter the routing tree for destination d, given the base tree
-// already resolved in wk.baseTree.
-func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Config, c, d int32, flips []int32, anySecurePath bool) bool {
+// possibly alter the routing tree for destination d, given that tree
+// holds the base tree for the current state.
+func (wk *worker) flipCanChangeTree(stc *routing.Static, tree *routing.Tree, st *deployState, cfg *Config, c, d int32, flips []int32, anySecurePath bool) bool {
 	if wk.flipMark[d] {
 		// The destination itself flips (c == d, or d is one of c's stubs
 		// under ProjectStubUpgrades): whether any path to d can be
@@ -648,7 +1072,7 @@ func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Co
 	if st.secure[c] {
 		// Turning c off matters only if c currently has a fully secure
 		// path (then c's own choice, or paths through c, may change).
-		if !wk.baseTree.Secure[c] {
+		if !tree.Secure[c] {
 			wk.stats.skipTurnOff++
 			return false
 		}
@@ -660,7 +1084,7 @@ func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Co
 	// newly simplex stubs could reroute onto a secure path.
 	if stc.Type[c] != routing.NoRoute {
 		for _, b := range stc.Tiebreak(c) {
-			if wk.baseTree.Secure[b] {
+			if tree.Secure[b] {
 				return true
 			}
 		}
@@ -671,7 +1095,7 @@ func (wk *worker) flipCanChangeTree(stc *routing.Static, st *deployState, cfg Co
 				continue
 			}
 			for _, b := range stc.Tiebreak(s) {
-				if wk.baseTree.Secure[b] {
+				if tree.Secure[b] {
 					return true
 				}
 			}
@@ -698,18 +1122,53 @@ func (wk *worker) contribution(model UtilityModel, stc *routing.Static, acc, inc
 	return inc[i]
 }
 
-// accumulateAt returns candidate c's utility contribution over tree t —
-// equivalent to accumulate followed by contribution at c, but with the
-// floating-point work restricted to c's subtree. A cheap forward pass
-// over the order marks the nodes whose parent chain passes through c;
-// the reverse accumulation then processes only those. Every node in the
-// subtree has all of its tree children in the subtree, and filtering the
-// reverse order preserves each parent's child sequence, so by induction
-// every subtree sum — and hence the returned contribution — is produced
-// by the exact addition sequence of the full accumulate: the result is
-// bit-identical. Typical candidates carry a small fraction of the graph,
-// turning the O(order) float pass into a near-free flag pass.
-func (wk *worker) accumulateAt(model UtilityModel, s *routing.Static, t *routing.Tree, weights []float64, c int32) float64 {
+// buildChildIndex fills the worker's CSR child index for base tree t:
+// childList[childOff[p]:childOff[p+1]] holds the order nodes whose
+// chosen parent is p. Built once per destination (lazily, with the
+// delta index) and valid for that base tree only; accumulateAt overlays
+// each projection's parent moves on it instead of rescanning the order.
+func (wk *worker) buildChildIndex(s *routing.Static, t *routing.Tree, n int) {
+	if len(wk.childOff) < n+1 {
+		wk.childOff = make([]int32, n+1)
+		wk.childCur = make([]int32, n)
+		wk.childList = make([]int32, n)
+	}
+	order := s.Order()
+	off := wk.childOff[:n+1]
+	for i := range off {
+		off[i] = 0
+	}
+	for _, i := range order {
+		off[t.Parent[i]+1]++
+	}
+	for p := 0; p < n; p++ {
+		off[p+1] += off[p]
+	}
+	cur := wk.childCur[:n]
+	copy(cur, off[:n])
+	for _, i := range order {
+		p := t.Parent[i]
+		wk.childList[cur[p]] = i
+		cur[p]++
+	}
+}
+
+// accumulateAt returns candidate c's utility contribution over the
+// projected tree t — equivalent to accumulate followed by contribution
+// at c, but touching only c's actual subtree. The subtree is collected
+// by expanding the destination's base-tree child index, with the
+// projection's parent moves (moved) overlaid: a moved node is never
+// taken from the index (its base parent lost it) and is instead
+// admitted by walking its projected parent chain. Collected order
+// positions are recorded in a bitset and drained from the top word
+// down, which processes exactly the node set the full accumulate
+// visits, in the same descending order — every subtree sum, and hence
+// the returned contribution, is produced by the same float additions in
+// the same sequence, so the result is bit-identical. Typical candidates
+// carry a small fraction of the graph, making the former
+// O(order)-per-pair pass (the engine's dominant cost at scale)
+// proportional to the subtree plus an O(order/64) word scan.
+func (wk *worker) accumulateAt(model UtilityModel, s *routing.Static, t *routing.Tree, weights []float64, c int32, moved []int32) float64 {
 	if model == Outgoing {
 		if s.Type[c] != routing.CustomerRoute {
 			return 0
@@ -717,35 +1176,60 @@ func (wk *worker) accumulateAt(model UtilityModel, s *routing.Static, t *routing
 	} else if s.Type[c] == routing.NoRoute {
 		return 0
 	}
-	mark := wk.subMark
 	acc := wk.accProj
-	sub := wk.subList[:0]
-	order := s.Order()
+	movedMark := wk.movedMark
+	for _, m := range moved {
+		movedMark[m] = true
+	}
+	acc[c] = weights[c]
+	stack := append(wk.subList[:0], c)
+	posBits := wk.subPosBits
 	d := t.Dest
-	mark[d] = d == c
-	if d == c {
-		acc[d] = weights[d]
-	}
-	for _, i := range order {
-		m := i == c || mark[t.Parent[i]]
-		mark[i] = m
-		if m {
-			acc[i] = weights[i]
-			sub = append(sub, i)
-		}
-	}
-	wk.subList = sub
-	var incC float64
-	for k := len(sub) - 1; k >= 0; k-- {
-		i := sub[k]
-		if i == c {
+	for _, m := range moved {
+		if m == c {
 			continue
 		}
-		p := t.Parent[i]
-		acc[p] += acc[i]
-		if p == c && s.Type[i] == routing.ProviderRoute {
-			incC += acc[i]
+		p := t.Parent[m]
+		for p != c && p != d {
+			p = t.Parent[p]
 		}
+		if p == c {
+			acc[m] = weights[m]
+			pm := s.Pos(m)
+			posBits[pm>>6] |= 1 << uint(pm&63)
+			stack = append(stack, m)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range wk.childList[wk.childOff[q]:wk.childOff[q+1]] {
+			if !movedMark[r] {
+				acc[r] = weights[r]
+				pr := s.Pos(r)
+				posBits[pr>>6] |= 1 << uint(pr&63)
+				stack = append(stack, r)
+			}
+		}
+	}
+	for _, m := range moved {
+		movedMark[m] = false
+	}
+	wk.subList = stack
+	order := s.Order()
+	var incC float64
+	for w := len(posBits) - 1; w >= 0; w-- {
+		for word := posBits[w]; word != 0; {
+			b := bits.Len64(word) - 1
+			word &^= 1 << uint(b)
+			i := order[w<<6|b]
+			p := t.Parent[i]
+			acc[p] += acc[i]
+			if p == c && s.Type[i] == routing.ProviderRoute {
+				incC += acc[i]
+			}
+		}
+		posBits[w] = 0
 	}
 	if model == Outgoing {
 		return acc[c] - weights[c]

@@ -27,12 +27,19 @@ import (
 //     per-worker float merges differ only in final ulps, absorbed by
 //     decisionEpsilon; see TestRunDeterministicAcrossWorkers). Recorded
 //     utilities may therefore differ in the last ulp across pool sizes.
-//   - RecordUtilities, RecordStats: observability only. Callers that
-//     cache Results should record superset instrumentation (both on) so
-//     one entry serves every requester.
+//   - RecordUtilities, RecordStats, RecordMemStats: observability only.
+//     Callers that cache Results should record superset instrumentation
+//     so one entry serves every requester.
 //   - StaticCacheBytes: a performance/memory knob. Cached statics are
 //     byte-identical to cold computation (see TestStaticCacheResultInvariant),
 //     so the budget cannot change any Result.
+//   - DynamicCacheBytes: likewise — replayed contributions are the
+//     recorded bits re-summed in the cold engine's order (see
+//     TestDynCacheResultInvariant), so no budget, including forced
+//     eviction, can change any Result.
+//   - SharedStatics: likewise — a shared graph-level snapshot is the
+//     same bits a private cache or cold computation produces (see
+//     TestSharedStaticsResultInvariant).
 func (c Config) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("sim-v1|")

@@ -142,8 +142,8 @@ func EvaluateFlipPerDest(g *asgraph.Graph, secure []bool, cfg Config, n int32) (
 				break
 			}
 		}
-		flips := wk.flipSetFor(st, cfg, n)
-		if !wk.flipCanChangeTree(stc, st, cfg, n, d, flips, anySecure) {
+		flips := wk.flipSetFor(st, &cfg, n)
+		if !wk.flipCanChangeTree(stc, &wk.baseTree, st, &cfg, n, d, flips, anySecure) {
 			wk.clearFlips(flips)
 			proj[d] = base[d]
 			continue

@@ -60,17 +60,17 @@ func (f *nanFloats) UnmarshalJSON(data []byte) error {
 }
 
 type resultWire struct {
-	Version      int          `json:"version"`
-	ISPs         []int32      `json:"isps"`
-	PristineUtil nanFloats    `json:"pristine_util"`
-	Initial      Counts       `json:"initial"`
-	Rounds       []roundWire  `json:"rounds"`
-	FinalSecure  []bool       `json:"final_secure"`
-	Final        Counts       `json:"final"`
-	Stable       bool         `json:"stable"`
-	Oscillated   bool         `json:"oscillated"`
-	CycleStart   int          `json:"cycle_start"`
-	CycleLen     int          `json:"cycle_len"`
+	Version      int         `json:"version"`
+	ISPs         []int32     `json:"isps"`
+	PristineUtil nanFloats   `json:"pristine_util"`
+	Initial      Counts      `json:"initial"`
+	Rounds       []roundWire `json:"rounds"`
+	FinalSecure  []bool      `json:"final_secure"`
+	Final        Counts      `json:"final"`
+	Stable       bool        `json:"stable"`
+	Oscillated   bool        `json:"oscillated"`
+	CycleStart   int         `json:"cycle_start"`
+	CycleLen     int         `json:"cycle_len"`
 }
 
 type roundWire struct {

@@ -71,8 +71,26 @@ type RoundStats struct {
 	// projected resolutions.
 	NodesReused     int64
 	NodesRecomputed int64
+	// DirtyDests and CleanDests split the destinations by cross-round
+	// dynamic-cache outcome: clean destinations replayed their memoized
+	// contributions (the realized flip set provably could not change
+	// them), dirty ones were recomputed — because a flip reached them,
+	// their record was missing or evicted, or their memos were stale.
+	// Both stay zero when the cache is disabled
+	// (Config.DynamicCacheBytes < 0).
+	DirtyDests int
+	CleanDests int
+	// DynCacheBytes and DynCacheEntries snapshot the dynamic cache's
+	// accounted size and population across all workers at round end;
+	// DynCacheEvictions is the lifetime count of records dropped
+	// because a refresh outgrew the budget (a snapshot too — the
+	// pristine pass's evictions are not lost between rounds).
+	DynCacheBytes     int64
+	DynCacheEntries   int
+	DynCacheEvictions int64
 	// AllocBytes is the heap allocated during the round (runtime
-	// TotalAlloc delta; includes the stats bookkeeping itself).
+	// TotalAlloc delta; recorded only under Config.RecordMemStats, since
+	// the ReadMemStats pair stops the world).
 	AllocBytes uint64
 }
 
@@ -94,9 +112,10 @@ func (st *RoundStats) String() string {
 		reusedPct = 100 * float64(st.NodesReused) / float64(tot)
 	}
 	return fmt.Sprintf(
-		"%v, %d dests, %d cands, static %d/%d hit (%d entries, %dB), proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
-		st.Wall.Round(time.Microsecond), st.Destinations, st.Candidates,
+		"%v, %d dests (%d clean, %d dirty), %d cands, static %d/%d hit (%d entries, %dB), dyn %d entries %dB (evict %d), proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
+		st.Wall.Round(time.Microsecond), st.Destinations, st.CleanDests, st.DirtyDests, st.Candidates,
 		st.StaticHits, st.StaticHits+st.StaticMisses, st.StaticCacheEntries, st.StaticCacheBytes,
+		st.DynCacheEntries, st.DynCacheBytes, st.DynCacheEvictions,
 		st.ProjResolutions, pairs, resolvedPct,
 		st.SkipZeroUtil, st.SkipInsecureDest, st.SkipDestFlip, st.SkipTurnOff, st.SkipTurnOn,
 		st.ProjUnchanged, reusedPct, st.AllocBytes)

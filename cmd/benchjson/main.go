@@ -63,6 +63,7 @@ func run() int {
 		bench     = flag.String("bench", "Round", "benchmark name pattern (go test -bench)")
 		benchtime = flag.String("benchtime", "5x", "iterations or duration per benchmark (go test -benchtime)")
 		label     = flag.String("label", "", "revision label recorded in the output")
+		timeout   = flag.String("timeout", "0", "go test -timeout for the benchmark binary (0 = none; paper-scale runs outlast the 10m default)")
 		out       = flag.String("o", "", "output file (default stdout)")
 		diffMode  = flag.Bool("diff", false, "compare two emitted JSON files: benchjson -diff OLD NEW")
 	)
@@ -85,7 +86,7 @@ func run() int {
 
 	args := append([]string{
 		"test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-benchmem",
+		"-benchtime", *benchtime, "-benchmem", "-timeout", *timeout,
 	}, pkgs...)
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer

@@ -23,11 +23,15 @@ import (
 	"sync"
 	"time"
 
+	"sbgp/internal/dist"
 	"sbgp/internal/experiments"
 	"sbgp/internal/profiling"
 )
 
 func main() {
+	// With -dist-workers, this binary fork-execs copies of itself as
+	// stdio workers; a child serves here and exits.
+	dist.MaybeRunWorker()
 	os.Exit(run())
 }
 
@@ -39,6 +43,7 @@ func run() int {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		x        = flag.Float64("x", 0.10, "CP traffic fraction")
 		workers  = flag.Int("workers", 0, "simulation worker budget (0 = GOMAXPROCS)")
+		distWork = flag.Int("dist-workers", 0, "run each simulation over this many local worker processes (0 = in-process)")
 		parallel = flag.Int("parallel", 4, "experiments run concurrently")
 		outDir   = flag.String("out", "", "directory for reports, resume state and the artifact cache (default stdout only)")
 		jsonOut  = flag.Bool("json", false, "also write <id>.json machine-readable reports (requires -out)")
@@ -84,7 +89,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

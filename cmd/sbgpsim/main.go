@@ -11,26 +11,46 @@
 //	sbgpsim -topo graph.txt -model incoming -theta 0.1 -adopters top10
 //	sbgpsim -n 1000 -adopters random20 -adopter-seed 7
 //	sbgpsim -n 2500 -model incoming -cpuprofile cpu.pprof
+//	sbgpsim -preset paper -dist-workers 4
+//
+// Distributed execution: -dist-workers K fork-execs K copies of this
+// binary as local worker processes talking over stdio pipes. To span
+// machines, start `sbgpsim -dist-listen :9000` on each worker host and
+// point the coordinator at them with -dist-connect host1:9000,host2:9000.
+// Results are bit-identical to an in-process run with the same -workers
+// value at any worker-process count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sbgp"
+	"sbgp/internal/dist"
 	"sbgp/internal/profiling"
+	"sbgp/internal/sim"
 )
 
 func main() {
+	// When this process is a fork-exec'd stdio worker, serve and exit
+	// before touching flags.
+	dist.MaybeRunWorker()
 	os.Exit(run())
 }
+
+// paperN is the AS count of the paper's empirical graph (a UCLA
+// Cyclops snapshot from Dec 16, 2010).
+const paperN = 36964
 
 func run() int {
 	var (
 		topo        = flag.String("topo", "", "topology file (native text format); empty = generate")
 		n           = flag.Int("n", 2000, "synthetic graph size (ignored with -topo)")
 		seed        = flag.Int64("seed", 42, "generator / tiebreak seed")
+		preset      = flag.String("preset", "", "parameter preset: paper (N=36,964, 5 CPs, x=0.10, θ=0.05)")
+		augment     = flag.Float64("augment", 0, "per-CP peering fraction for the Section 6.8 augmented variant (0 = off)")
 		x           = flag.Float64("x", 0.10, "CP traffic fraction")
 		model       = flag.String("model", "outgoing", "utility model: outgoing|incoming")
 		theta       = flag.Float64("theta", 0.05, "deployment threshold θ")
@@ -38,17 +58,48 @@ func run() int {
 		adopterSeed = flag.Int64("adopter-seed", 1, "seed for randomK adopters")
 		stubsBT     = flag.Bool("stubs-break-ties", true, "stubs running simplex S*BGP break ties on security")
 		projectStub = flag.Bool("project-stubs", false, "projection bundles the ISP's simplex stub upgrades")
-		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "logical shard count (0 = GOMAXPROCS; pin for cross-machine reproducibility)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		staticCache = flag.Int64("static-cache", 0, "static routing cache budget in bytes (0 = default, negative = disable)")
 		dynCache    = flag.Int64("dyn-cache", 0, "dynamic contribution cache budget in bytes (0 = default, negative = disable)")
 		stats       = flag.Bool("stats", false, "print per-round engine statistics")
 		memStats    = flag.Bool("memstats", false, "sample per-round heap allocation (stop-the-world; implies nothing without -stats)")
 		quiet       = flag.Bool("q", false, "summary only")
+		resultJSON  = flag.String("result-json", "", "write the full Result (with utilities) as JSON to this file")
+		distWorkers = flag.Int("dist-workers", 0, "distribute over this many local worker processes (fork-exec over stdio pipes)")
+		distConnect = flag.String("dist-connect", "", "distribute over TCP workers at these comma-separated addresses")
+		distListen  = flag.String("dist-listen", "", "run as a TCP worker listening on this address (serves coordinators forever)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *distListen != "" {
+		fmt.Fprintf(os.Stderr, "sbgpsim: worker listening on %s\n", *distListen)
+		return fail(dist.ListenAndServe(*distListen))
+	}
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *preset {
+	case "":
+	case "paper":
+		// Paper-scale defaults; any explicitly-set flag wins.
+		if !explicit["n"] {
+			*n = paperN
+		}
+		if !explicit["x"] {
+			*x = 0.10
+		}
+		if !explicit["theta"] {
+			*theta = 0.05
+		}
+		if !explicit["adopters"] {
+			*adoptersStr = "cps+top5"
+		}
+	default:
+		return fail(fmt.Errorf("unknown preset %q (want: paper)", *preset))
+	}
 
 	stop, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -64,6 +115,12 @@ func run() int {
 		}
 	} else {
 		g, err = sbgp.GenerateTopology(sbgp.DefaultTopology(*n, *seed))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if *augment > 0 {
+		g, err = sbgp.AugmentTopology(g, *seed, *augment)
 		if err != nil {
 			return fail(err)
 		}
@@ -89,6 +146,7 @@ func run() int {
 		DynamicCacheBytes:   *dynCache,
 		RecordStats:         *stats,
 		RecordMemStats:      *memStats,
+		RecordUtilities:     *resultJSON != "",
 	}
 	switch *model {
 	case "outgoing":
@@ -97,6 +155,36 @@ func run() int {
 		cfg.Model = sbgp.Incoming
 	default:
 		return fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	if *distWorkers > 0 && *distConnect != "" {
+		return fail(fmt.Errorf("-dist-workers and -dist-connect are mutually exclusive"))
+	}
+	if *distWorkers > 0 || *distConnect != "" {
+		var procs int
+		if *distWorkers > 0 {
+			procs = *distWorkers
+		} else {
+			procs = len(strings.Split(*distConnect, ","))
+		}
+		// Unless pinned, tie the logical shard count to the worker count
+		// so the partitioning doesn't depend on the coordinator's
+		// GOMAXPROCS. Pin -workers explicitly to compare against a
+		// specific in-process run bit for bit.
+		if cfg.Workers == 0 {
+			cfg.Workers = procs
+		}
+		var coord *dist.Coordinator
+		if *distWorkers > 0 {
+			coord, err = dist.NewLocalCoordinator(g, cfg, procs, dist.Options{})
+		} else {
+			coord, err = dist.NewTCPCoordinator(g, cfg, strings.Split(*distConnect, ","), dist.Options{})
+		}
+		if err != nil {
+			return fail(err)
+		}
+		defer coord.Close()
+		cfg.Executor = coord
 	}
 
 	res, err := sbgp.Run(g, cfg)
@@ -118,6 +206,20 @@ func run() int {
 		}
 	}
 	fmt.Print(res.Summary(g))
+
+	if *resultJSON != "" {
+		f, err := os.Create(*resultJSON)
+		if err != nil {
+			return fail(err)
+		}
+		if err := sim.WriteResult(f, res); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
 	return 0
 }
 

@@ -4,6 +4,7 @@
 //
 //	topogen -n 2000 -seed 42 -o graph.txt
 //	topogen -n 2000 -augment 0.5 -o augmented.txt
+//	topogen -preset paper -o paper.txt
 package main
 
 import (
@@ -14,15 +15,33 @@ import (
 	"sbgp"
 )
 
+// paperN matches the paper's empirical AS graph size (a UCLA Cyclops
+// snapshot from Dec 16, 2010: 36,964 ASes, of which 5 are modeled as
+// content providers).
+const paperN = 36964
+
 func main() {
 	var (
 		n       = flag.Int("n", 2000, "number of ASes")
 		seed    = flag.Int64("seed", 42, "generator seed")
+		preset  = flag.String("preset", "", "parameter preset: paper (N=36,964, 5 CPs; add -augment 0.5 for the Section 6.8 variant)")
 		augment = flag.Float64("augment", 0, "per-CP peering fraction (0 = no augmentation)")
 		out     = flag.String("o", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print stats to stderr")
 	)
 	flag.Parse()
+
+	switch *preset {
+	case "":
+	case "paper":
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["n"] {
+			*n = paperN
+		}
+	default:
+		fatal(fmt.Errorf("unknown preset %q (want: paper)", *preset))
+	}
 
 	g, err := sbgp.GenerateTopology(sbgp.DefaultTopology(*n, *seed))
 	if err != nil {

@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/sim"
+	"sbgp/internal/topogen"
+)
+
+// The DistRun series measures a complete multi-round simulation
+// executed over K fork-exec'd local worker processes, at a fixed 4
+// logical shards so every process count computes — and merges — the
+// exact same partials. The InProcess baseline runs the identical
+// configuration on the in-process engine. The spread between them is
+// the transport cost: per-round flip broadcast, partial-vector frames,
+// and pipe latency. On a single-core host the process counts mostly
+// document that overhead; with real cores the 2- and 4-process rows
+// show the spread between IPC cost and parallel speedup.
+//
+//	go test ./internal/dist -bench DistRun -benchmem
+func benchCfg(g *asgraph.Graph) sim.Config {
+	return sim.Config{
+		Model:          sim.Outgoing,
+		Theta:          0.05,
+		StubsBreakTies: true,
+		Workers:        4, // logical shard count, fixed across all rows
+		EarlyAdopters: append(g.Nodes(asgraph.ContentProvider),
+			asgraph.TopByDegree(g, 5, asgraph.ISP)...),
+	}
+}
+
+func benchGraph(b *testing.B) *asgraph.Graph {
+	b.Helper()
+	g := topogen.MustGenerate(topogen.Default(2500, 42))
+	g.SetCPTrafficFraction(0.10)
+	return g
+}
+
+func benchDistRun(b *testing.B, procs int) {
+	g := benchGraph(b)
+	cfg := benchCfg(g)
+	coord, err := NewLocalCoordinator(g, cfg, procs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	cfg.Executor = coord
+	sm, err := sim.New(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up run: worker engines live for the whole benchmark, so their
+	// caches carry across iterations exactly as the in-process baseline's
+	// do below.
+	if _, err := sm.RunE(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.RunE(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistRunProcs1(b *testing.B) { benchDistRun(b, 1) }
+func BenchmarkDistRunProcs2(b *testing.B) { benchDistRun(b, 2) }
+func BenchmarkDistRunProcs4(b *testing.B) { benchDistRun(b, 4) }
+
+// BenchmarkDistRunInProcess is the zero-transport control: the same
+// graph, config and reused-Sim shape with the default local executor.
+func BenchmarkDistRunInProcess(b *testing.B) {
+	g := benchGraph(b)
+	cfg := benchCfg(g)
+	sm, err := sim.New(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sm.RunE(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.RunE(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/sim"
+	"sbgp/internal/topogen"
+)
+
+// TestMain makes this test binary its own worker pool: when
+// NewLocalCoordinator fork-execs os.Executable() — this binary — the
+// child lands here, MaybeRunWorker serves the session on stdio and
+// exits before any test runs.
+func TestMain(m *testing.M) {
+	MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+func testGraph(tb testing.TB, n int, seed int64) (*asgraph.Graph, []int32) {
+	tb.Helper()
+	g := topogen.MustGenerate(topogen.Default(n, seed))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+	return g, adopters
+}
+
+// serialize renders a Result in the canonical wire form with per-round
+// stats stripped: wall-clock numbers legitimately differ between runs,
+// everything else must be byte-identical.
+func serialize(tb testing.TB, res *sim.Result) []byte {
+	tb.Helper()
+	for i := range res.Rounds {
+		res.Rounds[i].Stats = nil
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteResult(&buf, res); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runLocal runs the simulation in-process.
+func runLocal(tb testing.TB, g *asgraph.Graph, cfg sim.Config) *sim.Result {
+	tb.Helper()
+	res, err := sim.MustNew(g, cfg).RunE()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// runDist runs the simulation over procs fork-exec'd worker processes.
+func runDist(tb testing.TB, g *asgraph.Graph, cfg sim.Config, procs int, extraEnv ...string) (*sim.Result, error) {
+	tb.Helper()
+	coord, err := NewLocalCoordinator(g, cfg, procs, Options{}, extraEnv...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer coord.Close()
+	cfg.Executor = coord
+	return sim.MustNew(g, cfg).RunE()
+}
+
+// TestDistMatchesInProcess is the core bit-identity claim: for every
+// utility model and stub tie-break mode, a run distributed over 2
+// worker processes serializes byte-identically to the in-process run
+// with the same logical shard count — recorded utilities included, to
+// the last float bit.
+func TestDistMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	g, adopters := testGraph(t, 500, 11)
+	for _, model := range []sim.UtilityModel{sim.Outgoing, sim.Incoming} {
+		for _, sbt := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v_stubsbreak=%t", model, sbt), func(t *testing.T) {
+				cfg := sim.Config{
+					Model:           model,
+					Theta:           0.05,
+					EarlyAdopters:   adopters,
+					StubsBreakTies:  sbt,
+					Workers:         4, // pins the logical shard count
+					RecordUtilities: true,
+				}
+				want := serialize(t, runLocal(t, g, cfg))
+				res, err := runDist(t, g, cfg, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := serialize(t, res)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("distributed result differs from in-process (%d vs %d bytes)", len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestDistWorkerCounts: the process count is pure placement — 1, 2,
+// and 3 processes over 4 logical shards (3 leaves one process with two
+// shards, and more processes than shards leaves one idle) all
+// serialize byte-identically.
+func TestDistWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	g, adopters := testGraph(t, 300, 5)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		StubsBreakTies:  true,
+		Workers:         4,
+		RecordUtilities: true,
+	}
+	want := serialize(t, runLocal(t, g, cfg))
+	for _, procs := range []int{1, 3, 5} {
+		res, err := runDist(t, g, cfg, procs)
+		if err != nil {
+			t.Fatalf("%d procs: %v", procs, err)
+		}
+		if got := serialize(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("%d procs: result differs from in-process", procs)
+		}
+	}
+}
+
+// TestDistWorkerDeath kills worker process 1 as it receives round
+// sequence 3 (simulation round 2), mid-run: the coordinator must
+// reassign its shards to the survivor, replay them from the committed
+// snapshot, report the reassignment in the round stats, and still
+// produce the byte-identical Result.
+func TestDistWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	g, adopters := testGraph(t, 500, 11)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		StubsBreakTies:  true,
+		Workers:         4,
+		RecordUtilities: true,
+	}
+	ref := runLocal(t, g, cfg)
+	if len(ref.Rounds) < 2 {
+		t.Fatalf("test scenario too small: only %d rounds, the kill at round 2 never triggers", len(ref.Rounds))
+	}
+	want := serialize(t, ref)
+
+	cfg.RecordStats = true // to observe the reassignment counters
+	const dieSeq = 3       // seq 1 = pristine pass, seq 2 = round 1, seq 3 = round 2
+	res, err := runDist(t, g, cfg, 2,
+		envDieBeforeSeq+"="+strconv.Itoa(dieSeq),
+		envDieWorker+"=1",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reassigned, lost int
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			reassigned += rd.Stats.ShardsReassigned
+			lost += rd.Stats.WorkersLost
+		}
+	}
+	if lost != 1 {
+		t.Errorf("WorkersLost = %d, want 1", lost)
+	}
+	if reassigned != 2 {
+		t.Errorf("ShardsReassigned = %d, want 2 (worker 1 owned shards 1 and 3 of 4)", reassigned)
+	}
+	if got := serialize(t, res); !bytes.Equal(got, want) {
+		t.Fatalf("result after mid-run worker death differs from in-process")
+	}
+}
+
+// TestDistAllWorkersDead: when every worker dies the run must fail
+// with an error, not hang or panic.
+func TestDistAllWorkersDead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	g, adopters := testGraph(t, 100, 3)
+	cfg := sim.Config{Theta: 0.05, EarlyAdopters: adopters, Workers: 2}
+	_, err := runDist(t, g, cfg, 1,
+		envDieBeforeSeq+"=2",
+		envDieWorker+"=0",
+	)
+	if err == nil {
+		t.Fatal("run with every worker dead reported success")
+	}
+}
+
+// pipeConn adapts one end of a net.Pipe pair plus in-process ServeConn
+// to a Conn, so the coordinator/worker protocol runs under the race
+// detector without forking.
+func pipeWorkers(t *testing.T, k int) []Conn {
+	t.Helper()
+	conns := make([]Conn, k)
+	for i := 0; i < k; i++ {
+		a, b := net.Pipe()
+		go func() { _ = ServeConn(b); b.Close() }()
+		conns[i] = a
+	}
+	return conns
+}
+
+// TestPipeWorkers runs the full protocol over synchronous in-memory
+// pipes: exercises coordinator and worker concurrently in one process,
+// where `go test -race` can see both sides.
+func TestPipeWorkers(t *testing.T) {
+	g, adopters := testGraph(t, 300, 5)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		Workers:         4,
+		RecordUtilities: true,
+	}
+	want := serialize(t, runLocal(t, g, cfg))
+	coord, err := NewCoordinator(g, cfg, pipeWorkers(t, 2), Options{RoundTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cfg.Executor = coord
+	res, err := sim.MustNew(g, cfg).RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(t, res); !bytes.Equal(got, want) {
+		t.Fatal("pipe-transport result differs from in-process")
+	}
+}
+
+// TestCoordinatorRejectsEmpty covers constructor validation.
+func TestCoordinatorRejectsEmpty(t *testing.T) {
+	g, _ := testGraph(t, 50, 1)
+	if _, err := NewCoordinator(g, sim.Config{}, nil, Options{}); err == nil {
+		t.Fatal("coordinator with no workers accepted")
+	}
+	if _, err := NewLocalCoordinator(g, sim.Config{}, 0, Options{}); err == nil {
+		t.Fatal("coordinator with 0 processes accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/sim"
+)
+
+// Local mode: the coordinator fork-execs K copies of its own binary
+// and talks to each over the child's stdin/stdout. Any binary that
+// calls MaybeRunWorker at the top of main (or TestMain) can be its own
+// worker pool — no separate worker binary, no ports.
+
+// Environment contract between a local coordinator and its children.
+const (
+	// envWorker marks a process as a stdio worker ("1").
+	envWorker = "SBGP_DIST_WORKER"
+	// envWorkerIndex is the child's index among its siblings.
+	envWorkerIndex = "SBGP_DIST_WORKER_INDEX"
+	// envDieBeforeSeq is a fault-injection hook: the worker selected by
+	// envDieWorker exits without replying upon receiving the round with
+	// this sequence number.
+	envDieBeforeSeq = "SBGP_DIST_DIE_BEFORE_SEQ"
+	// envDieWorker selects which worker index envDieBeforeSeq applies to.
+	envDieWorker = "SBGP_DIST_DIE_WORKER"
+)
+
+// MaybeRunWorker checks whether this process was started as a local
+// stdio worker and, if so, serves the session on stdin/stdout and
+// exits — it never returns in that case. Call it first thing in main
+// (and in TestMain for test binaries that use NewLocalCoordinator).
+func MaybeRunWorker() {
+	if os.Getenv(envWorker) != "1" {
+		return
+	}
+	var opts serveOpts
+	if s := os.Getenv(envDieBeforeSeq); s != "" {
+		idx := os.Getenv(envWorkerIndex)
+		if os.Getenv(envDieWorker) == idx {
+			seq, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sbgp dist worker: bad %s: %v\n", envDieBeforeSeq, err)
+				os.Exit(2)
+			}
+			opts.dieBeforeSeq = seq
+		}
+	}
+	err := serveConn(stdioConn{}, opts)
+	switch err {
+	case nil:
+		os.Exit(0)
+	case errDied:
+		os.Exit(3)
+	default:
+		fmt.Fprintf(os.Stderr, "sbgp dist worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// stdioConn adapts the process's stdin/stdout to an io.ReadWriter.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+
+// procConn is a Conn over a child process's pipes. Close shuts the
+// pipes (unblocking reads on both sides) and reaps the child, killing
+// it if it lingers. Close is idempotent — the coordinator closes a
+// conn both when a worker dies mid-round and again on shutdown.
+type procConn struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+	done   chan struct{} // closed once cmd.Wait returns
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.stdout.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+
+func (p *procConn) Close() error {
+	p.stdin.Close()
+	p.stdout.Close()
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+		p.cmd.Process.Kill()
+		<-p.done
+	}
+	return nil
+}
+
+// startLocalWorker fork-execs this binary as worker index i, with
+// extraEnv appended after the inherited environment. Stderr passes
+// through, so worker crashes are visible.
+func startLocalWorker(i int, extraEnv []string) (*procConn, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locating own binary: %w", err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		envWorker+"=1",
+		envWorkerIndex+"="+strconv.Itoa(i),
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: starting worker %d: %w", i, err)
+	}
+	p := &procConn{cmd: cmd, stdin: stdin, stdout: stdout, done: make(chan struct{})}
+	go func() {
+		cmd.Wait()
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// NewLocalCoordinator fork-execs procs copies of the running binary as
+// stdio workers and returns a Coordinator over them. The binary must
+// call MaybeRunWorker early in main. extraEnv entries ("K=V") are
+// added to each child's environment — the fault-injection tests use
+// this; pass nil otherwise.
+func NewLocalCoordinator(g *asgraph.Graph, cfg sim.Config, procs int, opts Options, extraEnv ...string) (*Coordinator, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("dist: need at least 1 worker process, got %d", procs)
+	}
+	conns := make([]Conn, 0, procs)
+	for i := 0; i < procs; i++ {
+		pc, err := startLocalWorker(i, extraEnv)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, pc)
+	}
+	return NewCoordinator(g, cfg, conns, opts)
+}

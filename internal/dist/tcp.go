@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/sim"
+)
+
+// TCP mode: workers listen, the coordinator dials. The graph and
+// config travel in the hello frame, so a worker machine needs nothing
+// but the binary — start it with `sbgpsim -dist-listen :port` on each
+// machine, then run the coordinator with `-dist-connect host1:port,…`.
+
+// ListenAndServe accepts coordinator connections on addr and serves
+// one worker session per connection, sequentially — a run holds its
+// connection for its whole lifetime, and a dist worker saturates the
+// machine while computing, so there is nothing to gain from accepting
+// a second session mid-run. It returns only on a listener error.
+func ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		err = ServeConn(conn)
+		conn.Close()
+		if err != nil {
+			fmt.Printf("dist worker: session ended: %v\n", err)
+		}
+	}
+}
+
+// NewTCPCoordinator dials one worker per address and returns a
+// Coordinator over them. Shard s lives on addrs[s mod len(addrs)].
+func NewTCPCoordinator(g *asgraph.Graph, cfg sim.Config, addrs []string, opts Options) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: no worker addresses")
+	}
+	conns := make([]Conn, 0, len(addrs))
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("dist: dialing worker %s: %w", addr, err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		conns = append(conns, conn)
+	}
+	return NewCoordinator(g, cfg, conns, opts)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"sbgp/internal/dist"
+	"sbgp/internal/sim"
+)
+
+// TestMain lets this test binary serve as its own distributed worker
+// pool: Store.Sim with DistWorkers set fork-execs os.Executable(),
+// which is this binary, and the child must land in MaybeRunWorker.
+func TestMain(m *testing.M) {
+	dist.MaybeRunWorker()
+	os.Exit(m.Run())
+}
+
+// TestStoreSimDistWorkers: a store executing simulations over worker
+// processes serves the byte-identical Result an in-process store
+// produces for the same request, so the dist knob never pollutes the
+// shared artifact cache.
+func TestStoreSimDistWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	local, err := NewStore("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := local.Graph(GraphKey{N: 200, Seed: 7, X: 0.10, Variant: variantBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSimConfig(7)
+	cfg.Workers = 2 // pin the logical shard count on both sides
+	want, _, err := local.Sim(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	distStore, err := NewStore("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distStore.DistWorkers = 2
+	got, run, err := distStore.Sim(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cached {
+		t.Fatal("fresh store reported a cached result")
+	}
+	if !resultBytesEqual(t, got, want) {
+		t.Fatal("distributed store result differs from in-process store result")
+	}
+}
+
+func resultBytesEqual(t *testing.T, a, b *sim.Result) bool {
+	t.Helper()
+	return bytes.Equal(resultBytes(t, a), resultBytes(t, b))
+}
+
+func resultBytes(t *testing.T, res *sim.Result) []byte {
+	t.Helper()
+	// Stats carry wall-clock timings that legitimately differ run to
+	// run; strip them (on a copy of the rounds) before comparing.
+	cp := *res
+	cp.Rounds = append([]sim.Round(nil), res.Rounds...)
+	for i := range cp.Rounds {
+		cp.Rounds[i].Stats = nil
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteResult(&buf, &cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

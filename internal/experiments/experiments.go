@@ -47,6 +47,10 @@ type Options struct {
 	// convention: 0 default, positive cap, negative off. Performance
 	// knob only — results are bit-identical for every setting.
 	DynamicCacheBytes int64
+	// DistWorkers, when positive, runs every simulation over that many
+	// fork-exec'd local worker processes (see internal/dist and
+	// Store.DistWorkers). Placement knob only — bit-identical results.
+	DistWorkers int
 	// Out receives the experiment's report (default io.Discard).
 	Out io.Writer
 
@@ -85,6 +89,7 @@ func (o Options) withDefaults() Options {
 		o.store, _ = NewStore("", o.Workers)
 		o.store.StaticCacheBytes = o.StaticCacheBytes
 		o.store.DynamicCacheBytes = o.DynamicCacheBytes
+		o.store.DistWorkers = o.DistWorkers
 	}
 	return o
 }

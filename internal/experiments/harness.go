@@ -125,6 +125,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 	}
 	store.StaticCacheBytes = opt.StaticCacheBytes
 	store.DynamicCacheBytes = opt.DynamicCacheBytes
+	store.DistWorkers = opt.DistWorkers
 	opt.store = store
 
 	parallel := b.Parallel

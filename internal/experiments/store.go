@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sbgp/internal/asgraph"
+	"sbgp/internal/dist"
 	"sbgp/internal/routing"
 	"sbgp/internal/sim"
 	"sbgp/internal/topogen"
@@ -47,6 +48,13 @@ type Store struct {
 	// contribution cache (sim.Config.DynamicCacheBytes) — also excluded
 	// from Config.Fingerprint, also bit-identical at any setting.
 	DynamicCacheBytes int64
+	// DistWorkers, when positive, executes every simulation over that
+	// many fork-exec'd local worker processes (internal/dist) instead of
+	// in-process goroutines. The process binary must call
+	// dist.MaybeRunWorker early in main. Placement knob only: dist runs
+	// are bit-identical to in-process runs at the same logical shard
+	// count, so cache keys and Results are unaffected.
+	DistWorkers int
 
 	mu       sync.Mutex
 	graphs   map[GraphKey]*graphEntry
@@ -303,23 +311,40 @@ func (s *Store) computeSim(key string, g *asgraph.Graph, cfg sim.Config) (res *s
 		// Missing, stale or corrupted: recompute and overwrite.
 	}
 
+	// Distributed execution: the coordinator replaces the in-process
+	// shard engine for this one simulation. SharedStatics stays behind —
+	// it cannot cross a process boundary; the workers run their own
+	// shard-private caches.
+	if s.DistWorkers > 0 {
+		coord, err := dist.NewLocalCoordinator(g, cfg, s.DistWorkers, dist.Options{})
+		if err != nil {
+			return nil, false, 0, err
+		}
+		defer coord.Close()
+		cfg.SharedStatics = nil
+		cfg.Executor = coord
+	}
+
 	sm, err := sim.New(g, cfg)
 	if err != nil {
 		return nil, false, 0, err
 	}
 	// Gate execution on the worker budget: each Sim spins up its own
-	// destination-parallel pool of cfg.Workers goroutines, so without
-	// this gate P concurrent experiments would run P×Workers busy
-	// goroutines.
+	// destination-parallel pool of cfg.Workers goroutines (or worker
+	// processes), so without this gate P concurrent experiments would
+	// run P×Workers busy goroutines.
 	claim := cfg.Workers
 	if claim <= 0 || claim > s.workers {
 		claim = s.workers
 	}
 	s.budget.acquire(claim)
 	start := time.Now()
-	res = sm.Run()
+	res, err = sm.RunE()
 	wall = time.Since(start)
 	s.budget.release(claim)
+	if err != nil {
+		return nil, false, 0, err
+	}
 
 	if path != "" {
 		if data, err := renderResult(res); err == nil {

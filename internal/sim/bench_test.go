@@ -154,3 +154,23 @@ func BenchmarkRunBaseOnly10000(b *testing.B) {
 	}
 	benchRun(b, 10000, Outgoing, 0, false, false)
 }
+
+// BenchmarkRunBaseOnlyPaper is the full paper-scale measurement: the
+// pristine base sweep plus one decision round over an all-insecure
+// graph at the paper's N=36,964 (its Cyclops AS-graph snapshot). No
+// warm-up run — at this size a single extra run costs minutes, and the
+// number of record is the cold full sweep. Skipped under -short.
+func BenchmarkRunBaseOnlyPaper(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale run skipped in short mode")
+	}
+	const paperN = 36964
+	g := topogen.MustGenerate(topogen.Default(paperN, 42))
+	g.SetCPTrafficFraction(0.10)
+	cfg := Config{Model: Outgoing, Theta: 0.05, StubsBreakTies: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustNew(g, cfg).Run()
+	}
+}

@@ -160,6 +160,20 @@ type Config struct {
 	// instead of once per simulation.
 	SharedStatics *routing.SharedStaticCache
 
+	// Executor, when non-nil, runs the per-round utility computation in
+	// place of the default in-process shard engine — the seam the
+	// distributed coordinator (internal/dist) plugs into. The executor
+	// fixes its own logical shard count; results are bit-identical to an
+	// in-process run whose Shards(n) equals it (see Executor). The Sim
+	// does not manage the executor's lifecycle: callers create it first
+	// and close it after the last run. SharedStatics, StaticCacheBytes,
+	// DynamicCacheBytes and Workers do not reach an external executor's
+	// workers through this Sim — the executor was built from its own
+	// Config copy.
+	//
+	// Purely an execution-placement knob, excluded from Fingerprint.
+	Executor Executor
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.
@@ -191,6 +205,25 @@ func (c Config) withDefaults() Config {
 		c.MaxRounds = 250
 	}
 	return c
+}
+
+// Shards returns the logical destination shard count S a simulation on
+// an n-node graph partitions its per-round work into: Workers
+// (defaulted to GOMAXPROCS) clamped to [1, n]. Shard s owns every
+// destination d ≡ s (mod S). The float summation order — and therefore
+// every simulation outcome bit — depends only on S, so a distributed
+// executor built from an equal-Shards Config reproduces the in-process
+// Result exactly, at any worker-process count.
+func (c Config) Shards(n int) int {
+	c = c.withDefaults()
+	s := c.Workers
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // decisionEpsilon guards the strict inequality of update rule (3)

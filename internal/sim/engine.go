@@ -13,37 +13,30 @@ import (
 	"sbgp/internal/routing"
 )
 
-// Sim runs the S*BGP deployment game over one graph. The worker pool
-// and all round-computation buffers are allocated once and reused for
-// every round (and across Runs), so steady-state rounds allocate
-// nothing; consequently a Sim may be used by only one goroutine at a
-// time.
+// Sim runs the S*BGP deployment game over one graph. All
+// round-computation buffers are allocated once and reused for every
+// round (and across Runs), so steady-state rounds allocate nothing;
+// consequently a Sim may be used by only one goroutine at a time.
+//
+// The per-round utility computation itself runs behind the Executor
+// seam: by default an in-process ShardEngine owning all S logical
+// shards (S = Config.Shards), optionally a distributed coordinator
+// supplied via Config.Executor. The Sim merges the per-shard partial
+// sums in fixed ascending shard order, so Results are bit-identical
+// across executors with equal shard counts.
 type Sim struct {
 	g     *asgraph.Graph
 	cfg   Config
 	theta []float64 // per-node deployment threshold
 
-	// Persistent round-computation state.
-	weights  []float64
-	pool     []*worker
+	// Round execution and persistent merge state.
+	exec     Executor
+	local    *ShardEngine // non-nil iff exec is the in-process default
 	uBase    []float64
 	uProj    []float64
 	candList []int32
 	candBuf  []bool
 	scratch  *deployState // state builder for RoundUtilities
-
-	// Cross-round dynamic-cache state (see dyncache.go). dynPrev is the
-	// deployment state every record's tree currently corresponds to;
-	// each computeRound diffs it against the incoming state to derive
-	// the realized flip set, advances the records, and snapshots the new
-	// state back. Diffing (rather than collecting Run's flip lists)
-	// keeps the invariant under arbitrary state jumps: repeated Run
-	// calls, RoundUtilities probes, the pristine pass.
-	dynOn         bool
-	dynPrev       *deployState
-	dynFlips      []int32
-	dynFlipMark   []bool
-	dynFlipBreaks []bool
 }
 
 // New validates the configuration against the graph and returns a
@@ -68,65 +61,23 @@ func New(g *asgraph.Graph, cfg Config) (*Sim, error) {
 	s.theta = s.nodeThetas()
 
 	n := g.N()
-	nw := cfg.Workers
-	if nw > n {
-		nw = n
-	}
-	if nw < 1 {
-		nw = 1
-	}
-	s.weights = make([]float64, n)
-	for i := int32(0); i < int32(n); i++ {
-		s.weights[i] = g.Weight(i)
-	}
-	// Static-cache budget: split evenly across the worker pool. The
-	// striping is static (worker w owns d ≡ w mod nw), so each worker's
-	// share caches exactly the destinations that worker will process on
-	// every future round — goroutine-private, no locking.
-	budget := cfg.StaticCacheBytes
-	if budget == 0 {
-		budget = routing.DefaultStaticCacheBytes
-	}
-	perWorker := int64(0)
-	if budget > 0 {
-		perWorker = budget / int64(nw)
-		if perWorker == 0 {
-			perWorker = 1
+	if cfg.Executor != nil {
+		if cfg.Executor.TotalShards() < 1 {
+			return nil, fmt.Errorf("sim: executor reports %d shards", cfg.Executor.TotalShards())
 		}
-	}
-	// Dynamic-cache budget: split the same way. Worker-private records
-	// mean admission differs across pool sizes, but replay is
-	// bit-identical to recomputation, so only performance varies.
-	dynBudget := cfg.DynamicCacheBytes
-	if dynBudget == 0 {
-		dynBudget = DefaultDynamicCacheBytes
-	}
-	perWorkerDyn := int64(0)
-	if dynBudget > 0 {
-		perWorkerDyn = dynBudget / int64(nw)
-		if perWorkerDyn == 0 {
-			perWorkerDyn = 1
+		s.exec = cfg.Executor
+	} else {
+		total := cfg.Shards(n)
+		shards := make([]int, total)
+		for i := range shards {
+			shards[i] = i
 		}
-	}
-	s.dynOn = perWorkerDyn > 0
-	// A shared graph-level static store replaces the private per-worker
-	// caches entirely; it must be serving this graph and tiebreaker.
-	if cfg.SharedStatics != nil {
-		if err := cfg.SharedStatics.Bind(g, cfg.Tiebreaker); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+		eng, err := NewShardEngine(g, cfg, shards, total)
+		if err != nil {
+			return nil, err
 		}
-	}
-	s.pool = make([]*worker, nw)
-	for w := range s.pool {
-		s.pool[w] = newWorker(g, n)
-		if cfg.SharedStatics != nil {
-			s.pool[w].shared = cfg.SharedStatics
-		} else if perWorker > 0 {
-			s.pool[w].cache = routing.NewStaticCache(perWorker)
-		}
-		if perWorkerDyn > 0 {
-			s.pool[w].dyn = newDynCache(perWorkerDyn)
-		}
+		s.local = eng
+		s.exec = &localExecutor{eng: eng}
 	}
 	s.uBase = make([]float64, n)
 	s.uProj = make([]float64, n)
@@ -165,8 +116,21 @@ func MustNew(g *asgraph.Graph, cfg Config) *Sim {
 }
 
 // Run executes the deployment process until it reaches a stable state,
-// revisits a previous state (oscillation), or hits the round cap.
+// revisits a previous state (oscillation), or hits the round cap. It
+// panics if round execution fails, which the in-process executor never
+// does; distributed runs should prefer RunE.
 func (s *Sim) Run() *Result {
+	res, err := s.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE is Run with an error return: a distributed executor can fail
+// mid-run (all worker processes lost), which surfaces here instead of
+// panicking.
+func (s *Sim) RunE() (*Result, error) {
 	g, cfg := s.g, s.cfg
 	n := g.N()
 
@@ -179,7 +143,10 @@ func (s *Sim) Run() *Result {
 	// Starting utilities: the all-insecure world before any deployment,
 	// the baseline the paper normalizes utility trajectories by.
 	pristine := newDeployState(n)
-	prBase, _, _ := s.computeRound(pristine, nil)
+	prBase, _, _, err := s.computeRound(pristine, nil)
+	if err != nil {
+		return nil, err
+	}
 	for i := range res.PristineUtil {
 		if g.IsISP(int32(i)) {
 			res.PristineUtil[i] = prBase[i]
@@ -223,7 +190,10 @@ func (s *Sim) Run() *Result {
 
 	for round := 0; round < cfg.MaxRounds; round++ {
 		candidates := s.candidates(st)
-		uBase, uProj, stats := s.computeRound(st, candidates)
+		uBase, uProj, stats, err := s.computeRound(st, candidates)
+		if err != nil {
+			return nil, err
+		}
 
 		var rd Round
 		rd.Stats = stats
@@ -300,7 +270,7 @@ func (s *Sim) Run() *Result {
 
 	copy(res.FinalSecure, st.secure)
 	res.Final = countSecure(g, st.secure)
-	return res
+	return res, nil
 }
 
 // candidates returns which nodes may flip this round: insecure ISPs
@@ -323,11 +293,15 @@ func (s *Sim) candidates(st *deployState) []bool {
 // marked in candidates — the projected utility in the state where that
 // node alone flips. candidates may be nil (base utilities only).
 //
-// This is the paper's per-round computation (Appendix C): parallelized
-// across destinations, one static computation per destination, one
-// resolution for the base state, and one resolution per surviving
-// candidate after the C.4 skip rules.
-func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []float64, stats *RoundStats) {
+// This is the paper's per-round computation (Appendix C): the executor
+// maps it over the S logical destination shards (in-process goroutines
+// or worker processes), and the reduce below folds the per-shard
+// partial sums per utility index in ascending shard order. That fixed
+// fold order is the determinism contract: float addition is not
+// associative, so executors return one partial per shard — never
+// pre-combined — and every Result is bit-identical across executors
+// (and worker-process placements) with equal shard counts.
+func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []float64, stats *RoundStats, err error) {
 	cfg := s.cfg
 	n := s.g.N()
 
@@ -357,47 +331,38 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 	}
 	s.candList = candList
 
-	rc := &roundCtx{st: st, candList: candList, cfg: &cfg, weights: s.weights}
-	if s.dynOn {
-		s.syncDyn(st, rc)
+	partials, info, err := s.exec.ExecRound(RoundState{Secure: st.secure, Breaks: st.breaks}, candList)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: round execution: %w", err)
+	}
+	if len(partials) != s.exec.TotalShards() {
+		return nil, nil, nil, fmt.Errorf("sim: executor returned %d partials for %d shards", len(partials), s.exec.TotalShards())
+	}
+	for i := range partials {
+		if partials[i].Shard != i {
+			return nil, nil, nil, fmt.Errorf("sim: executor partial %d covers shard %d", i, partials[i].Shard)
+		}
+		if len(partials[i].UBase) != n || len(partials[i].UDelta) != n {
+			return nil, nil, nil, fmt.Errorf("sim: executor partial %d has %d/%d entries for %d nodes",
+				i, len(partials[i].UBase), len(partials[i].UDelta), n)
+		}
 	}
 
-	// Destinations are striped statically (worker w handles d ≡ w mod nw)
-	// and the per-worker partial sums are merged in worker order, so the
-	// floating-point summation order — and therefore every simulation
-	// outcome — is deterministic for a fixed Config.Workers.
-	nw := len(s.pool)
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func(w int) {
-			defer wg.Done()
-			wk := s.pool[w]
-			wk.resetRound(n)
-			for d := int32(w); int(d) < n; d += int32(nw) {
-				wk.processDest(d, rc)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if s.dynOn {
-		s.saveDyn(st)
-	}
-
-	// Merge the per-worker partial sums, sharded by utility index across
-	// goroutines. Each index sums over workers in pool order and then
-	// adds the base into the projection — exactly the order the old
-	// sequential merge used — so every float result is bit-identical
-	// regardless of shard count. (Workers hold per-destination *deltas*
-	// in uDelta; the merge turns them into projected utilities.)
+	// Merge the per-shard partial sums, chunked by utility index across
+	// goroutines. Each index sums over shards in ascending order and
+	// then adds the base into the projection — so every float result is
+	// bit-identical regardless of chunk count, executor, or worker
+	// placement. (Shards hold per-destination *deltas* in UDelta; the
+	// merge turns them into projected utilities.)
+	nw := len(partials)
 	merge := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var base, delta float64
-			for _, wk := range s.pool {
-				base += wk.uBase[i]
+			for p := range partials {
+				base += partials[p].UBase[i]
 			}
-			for _, wk := range s.pool {
-				delta += wk.uDelta[i]
+			for p := range partials {
+				delta += partials[p].UDelta[i]
 			}
 			uBase[i] = base
 			uProj[i] = delta + base
@@ -424,34 +389,56 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 
 	if cfg.RecordStats {
 		stats = &RoundStats{
-			Wall:         time.Since(started),
-			Destinations: n,
-			Candidates:   len(candList),
+			Wall:             time.Since(started),
+			Destinations:     n,
+			Candidates:       len(candList),
+			ShardsReassigned: info.ShardsReassigned,
+			WorkersLost:      info.WorkersLost,
 		}
-		if shared := s.pool[0].shared; shared != nil {
-			stats.StaticCacheBytes = shared.Bytes()
-			stats.StaticCacheEntries = shared.Entries()
+		var sum ShardStats
+		var wallMax, wallMin int64
+		for i := range partials {
+			ps := &partials[i].Stats
+			sum.add(ps)
+			if i == 0 || ps.WallNS > wallMax {
+				wallMax = ps.WallNS
+			}
+			if i == 0 || ps.WallNS < wallMin {
+				wallMin = ps.WallNS
+			}
 		}
-		for _, wk := range s.pool {
-			stats.StaticHits += wk.stats.staticHits
-			stats.StaticMisses += wk.stats.staticMisses
-			stats.StaticCacheBytes += wk.cache.Bytes()
-			stats.StaticCacheEntries += wk.cache.Entries()
-			stats.BaseResolutions += wk.stats.baseResolutions
-			stats.ProjResolutions += wk.stats.projResolutions
-			stats.ProjUnchanged += wk.stats.projUnchanged
-			stats.SkipZeroUtil += wk.stats.skipZeroUtil
-			stats.SkipInsecureDest += wk.stats.skipInsecureDest
-			stats.SkipDestFlip += wk.stats.skipDestFlip
-			stats.SkipTurnOff += wk.stats.skipTurnOff
-			stats.SkipTurnOn += wk.stats.skipTurnOn
-			stats.NodesReused += wk.stats.nodesReused
-			stats.NodesRecomputed += wk.stats.nodesRecomputed
-			stats.DirtyDests += int(wk.stats.dynDirty)
-			stats.CleanDests += int(wk.stats.dynClean)
-			stats.DynCacheEvictions += wk.dyn.evicted()
-			stats.DynCacheBytes += wk.dyn.bytesTotal()
-			stats.DynCacheEntries += wk.dyn.entryCount()
+		stats.StaticHits = sum.StaticHits
+		stats.StaticMisses = sum.StaticMisses
+		stats.StaticCacheBytes = sum.StaticCacheBytes
+		stats.StaticCacheEntries = int(sum.StaticCacheEntries)
+		stats.BaseResolutions = sum.BaseResolutions
+		stats.ProjResolutions = sum.ProjResolutions
+		stats.ProjUnchanged = sum.ProjUnchanged
+		stats.SkipZeroUtil = sum.SkipZeroUtil
+		stats.SkipInsecureDest = sum.SkipInsecureDest
+		stats.SkipDestFlip = sum.SkipDestFlip
+		stats.SkipTurnOff = sum.SkipTurnOff
+		stats.SkipTurnOn = sum.SkipTurnOn
+		stats.NodesReused = sum.NodesReused
+		stats.NodesRecomputed = sum.NodesRecomputed
+		stats.DirtyDests = int(sum.DirtyDests)
+		stats.CleanDests = int(sum.CleanDests)
+		stats.DynCacheBytes = sum.DynCacheBytes
+		stats.DynCacheEntries = int(sum.DynCacheEntries)
+		stats.DynCacheEvictions = sum.DynCacheEvictions
+		stats.ShardWallMax = time.Duration(wallMax)
+		stats.ShardWallMin = time.Duration(wallMin)
+		if mean := sum.WallNS / int64(len(partials)); mean > 0 {
+			stats.StragglerRatio = float64(wallMax) / float64(mean)
+		}
+		// A graph-level shared static store is not owned by any shard;
+		// count it once on top of the per-shard private caches (which
+		// are empty when a store is bound).
+		if s.local != nil {
+			if shared := s.local.sharedStatics(); shared != nil {
+				stats.StaticCacheBytes += shared.Bytes()
+				stats.StaticCacheEntries += shared.Entries()
+			}
 		}
 		if cfg.RecordMemStats {
 			var m runtime.MemStats
@@ -459,7 +446,7 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			stats.AllocBytes = m.TotalAlloc - memBefore
 		}
 	}
-	return uBase, uProj, stats
+	return uBase, uProj, stats, nil
 }
 
 // roundCtx bundles the inputs every worker reads during one round:
@@ -488,64 +475,6 @@ type roundCtx struct {
 	// cost more than resolving them afresh; processDest then rebuilds
 	// instead of advancing — the same bits either way.
 	bigJump bool
-}
-
-// syncDyn derives the realized flip set by diffing the incoming state
-// against dynPrev and publishes it in rc. A tie-break flag changing
-// without its security flag cannot be expressed as a flip, so that
-// (never produced by set/unset under a fixed config, but reachable
-// through RoundUtilities on exotic inputs) purges every record instead.
-func (s *Sim) syncDyn(st *deployState, rc *roundCtx) {
-	n := len(st.secure)
-	if s.dynPrev == nil {
-		// First round ever: no records exist yet, so any flip set is
-		// vacuously correct — publish an empty one.
-		s.dynFlipMark = make([]bool, n)
-		s.dynFlipBreaks = make([]bool, n)
-		s.dynPrev = st.clone()
-	}
-	for _, f := range s.dynFlips {
-		s.dynFlipMark[f] = false
-		s.dynFlipBreaks[f] = false
-	}
-	s.dynFlips = s.dynFlips[:0]
-	purge := false
-	for i := 0; i < n; i++ {
-		if st.secure[i] != s.dynPrev.secure[i] {
-			s.dynFlips = append(s.dynFlips, int32(i))
-			s.dynFlipMark[i] = true
-			s.dynFlipBreaks[i] = st.breaks[i]
-		} else if st.breaks[i] != s.dynPrev.breaks[i] {
-			purge = true
-		}
-	}
-	if purge {
-		for _, wk := range s.pool {
-			wk.dyn.purge()
-		}
-		for _, f := range s.dynFlips {
-			s.dynFlipMark[f] = false
-			s.dynFlipBreaks[f] = false
-		}
-		s.dynFlips = s.dynFlips[:0]
-		s.saveDyn(st)
-	}
-	rc.flipList = s.dynFlips
-	rc.flipMark = s.dynFlipMark
-	rc.flipBreaks = s.dynFlipBreaks
-	rc.prevSecure = s.dynPrev.secure
-	rc.prevBreaks = s.dynPrev.breaks
-	rc.bigJump = len(rc.flipList) > n/dynBigJumpFraction
-}
-
-// saveDyn snapshots st as the state the record trees now correspond to.
-func (s *Sim) saveDyn(st *deployState) {
-	if s.dynPrev == nil {
-		s.dynPrev = st.clone()
-		return
-	}
-	copy(s.dynPrev.secure, st.secure)
-	copy(s.dynPrev.breaks, st.breaks)
 }
 
 // worker holds all per-goroutine scratch state so that destination

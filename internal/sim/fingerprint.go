@@ -40,6 +40,10 @@ import (
 //   - SharedStatics: likewise — a shared graph-level snapshot is the
 //     same bits a private cache or cold computation produces (see
 //     TestSharedStaticsResultInvariant).
+//   - Executor: execution placement only. A distributed executor with
+//     the same logical shard count is bit-identical to the in-process
+//     engine (see internal/dist's differential tests), and any other
+//     shard count falls under the Workers argument above.
 func (c Config) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("sim-v1|")

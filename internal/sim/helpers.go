@@ -45,7 +45,10 @@ func Utilities(g *asgraph.Graph, secure []bool, cfg Config) ([]float64, error) {
 		return nil, fmt.Errorf("sim: secure bitmap has %d entries for %d ASes", len(secure), g.N())
 	}
 	st := stateFrom(g, secure, s.cfg.StubsBreakTies)
-	uBase, _, _ := s.computeRound(st, nil)
+	uBase, _, _, err := s.computeRound(st, nil)
+	if err != nil {
+		return nil, err
+	}
 	return append([]float64(nil), uBase...), nil
 }
 
@@ -77,8 +80,7 @@ func (s *Sim) RoundUtilities(secure []bool, projected bool) (uBase, uProj []floa
 	if projected {
 		cand = s.candidates(st)
 	}
-	uBase, uProj, stats = s.computeRound(st, cand)
-	return uBase, uProj, stats, nil
+	return s.computeRound(st, cand)
 }
 
 // EvaluateFlip returns ISP n's utility in the given state and its
@@ -98,7 +100,10 @@ func EvaluateFlip(g *asgraph.Graph, secure []bool, cfg Config, n int32) (base, p
 	st := stateFrom(g, secure, s.cfg.StubsBreakTies)
 	cand := make([]bool, g.N())
 	cand[n] = true
-	uBase, uProj, _ := s.computeRound(st, cand)
+	uBase, uProj, _, err := s.computeRound(st, cand)
+	if err != nil {
+		return 0, 0, err
+	}
 	return uBase[n], uProj[n], nil
 }
 

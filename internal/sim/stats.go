@@ -88,6 +88,22 @@ type RoundStats struct {
 	DynCacheBytes     int64
 	DynCacheEntries   int
 	DynCacheEvictions int64
+	// ShardWallMax and ShardWallMin are the slowest and fastest logical
+	// shard's compute wall time this round, measured where the shard ran
+	// (on the worker process, in distributed mode — network and merge
+	// time are excluded, so the pair isolates shard imbalance).
+	ShardWallMax time.Duration
+	ShardWallMin time.Duration
+	// StragglerRatio is ShardWallMax divided by the mean shard wall
+	// time: 1.0 is a perfectly balanced round, and the round's critical
+	// path is roughly StragglerRatio× the ideal parallel time.
+	StragglerRatio float64
+	// ShardsReassigned and WorkersLost count distributed-executor
+	// robustness events this round: shards moved to a surviving worker
+	// process because their owner died, and worker processes declared
+	// dead. Always zero in-process.
+	ShardsReassigned int
+	WorkersLost      int
 	// AllocBytes is the heap allocated during the round (runtime
 	// TotalAlloc delta; recorded only under Config.RecordMemStats, since
 	// the ReadMemStats pair stops the world).
@@ -111,12 +127,18 @@ func (st *RoundStats) String() string {
 	if tot := st.NodesReused + st.NodesRecomputed; tot > 0 {
 		reusedPct = 100 * float64(st.NodesReused) / float64(tot)
 	}
-	return fmt.Sprintf(
-		"%v, %d dests (%d clean, %d dirty), %d cands, static %d/%d hit (%d entries, %dB), dyn %d entries %dB (evict %d), proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, alloc %dB",
+	out := fmt.Sprintf(
+		"%v, %d dests (%d clean, %d dirty), %d cands, static %d/%d hit (%d entries, %dB), dyn %d entries %dB (evict %d), proj %d/%d (%.2f%%; skips: zero-util %d, dest-insecure %d, dest-flip %d, turn-off %d, turn-on %d), unchanged %d, nodes-reused %.1f%%, shards %v/%v (straggler %.2fx), alloc %dB",
 		st.Wall.Round(time.Microsecond), st.Destinations, st.CleanDests, st.DirtyDests, st.Candidates,
 		st.StaticHits, st.StaticHits+st.StaticMisses, st.StaticCacheEntries, st.StaticCacheBytes,
 		st.DynCacheEntries, st.DynCacheBytes, st.DynCacheEvictions,
 		st.ProjResolutions, pairs, resolvedPct,
 		st.SkipZeroUtil, st.SkipInsecureDest, st.SkipDestFlip, st.SkipTurnOff, st.SkipTurnOn,
-		st.ProjUnchanged, reusedPct, st.AllocBytes)
+		st.ProjUnchanged, reusedPct,
+		st.ShardWallMin.Round(time.Microsecond), st.ShardWallMax.Round(time.Microsecond), st.StragglerRatio,
+		st.AllocBytes)
+	if st.WorkersLost > 0 || st.ShardsReassigned > 0 {
+		out += fmt.Sprintf(", lost %d workers (%d shards reassigned)", st.WorkersLost, st.ShardsReassigned)
+	}
+	return out
 }

@@ -172,7 +172,7 @@ func Run(g *Graph, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(), nil
+	return s.RunE()
 }
 
 // NewSimulation validates the configuration against the graph and

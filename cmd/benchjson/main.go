@@ -11,9 +11,15 @@
 //
 // Packages default to ./internal/sim. Fixed iteration counts
 // (-benchtime Nx) make reruns comparable: every sample measures the
-// same number of operations. The -diff mode compares two emitted files
-// benchmark by benchmark — ns/op, B/op, allocs/op with relative deltas
-// — so the committed BENCH_* trajectory audits itself.
+// same number of operations. By default every matched benchmark runs
+// in its own `go test` process (-isolate=false shares one process per
+// package, the pre-PR6 behavior): inside a shared process, the heap an
+// earlier benchmark grew inflates GC and locality costs for later
+// ones, and a committed artifact should measure the engine, not its
+// benchmark neighbors. The -diff
+// mode compares two emitted files benchmark by benchmark — ns/op,
+// B/op, allocs/op with relative deltas — so the committed BENCH_*
+// trajectory audits itself.
 package main
 
 import (
@@ -50,6 +56,8 @@ type File struct {
 	CPU       string `json:"cpu,omitempty"`
 	Bench     string `json:"bench"`
 	Benchtime string `json:"benchtime"`
+	// Isolated records that each benchmark ran in its own process.
+	Isolated bool `json:"isolated,omitempty"`
 	// Benchmarks appear in execution order.
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -65,6 +73,7 @@ func run() int {
 		label     = flag.String("label", "", "revision label recorded in the output")
 		timeout   = flag.String("timeout", "0", "go test -timeout for the benchmark binary (0 = none; paper-scale runs outlast the 10m default)")
 		out       = flag.String("o", "", "output file (default stdout)")
+		isolate   = flag.Bool("isolate", true, "run each matched benchmark in its own go test process (one benchmark's heap cannot distort another's timing)")
 		diffMode  = flag.Bool("diff", false, "compare two emitted JSON files: benchjson -diff OLD NEW")
 	)
 	flag.Parse()
@@ -84,21 +93,28 @@ func run() int {
 		pkgs = []string{"./internal/sim"}
 	}
 
-	args := append([]string{
-		"test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-benchmem", "-timeout", *timeout,
-	}, pkgs...)
-	cmd := exec.Command("go", args...)
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
-		return 1
-	}
-
-	f := &File{Label: *label, Bench: *bench, Benchtime: *benchtime, Benchmarks: []Benchmark{}}
-	if err := parse(&buf, f); err != nil {
+	f := &File{Label: *label, Bench: *bench, Benchtime: *benchtime, Isolated: *isolate, Benchmarks: []Benchmark{}}
+	if *isolate {
+		for _, pkg := range pkgs {
+			names, err := listBenchmarks(pkg, *bench)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return 1
+			}
+			for _, name := range names {
+				if err := runBench(f, []string{pkg}, "^"+name+"$", *benchtime, *timeout); err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
+					return 1
+				}
+				// Progress on stderr: paper-scale suites run for the
+				// better part of an hour.
+				if n := len(f.Benchmarks); n > 0 {
+					b := f.Benchmarks[n-1]
+					fmt.Fprintf(os.Stderr, "benchjson: %s %s %.0f ns/op\n", pkg, b.Name, b.NsPerOp)
+				}
+			}
+		}
+	} else if err := runBench(f, pkgs, *bench, *benchtime, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
 	}
@@ -122,6 +138,44 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runBench executes one `go test -bench` invocation and appends its
+// parsed results to f.
+func runBench(f *File, pkgs []string, bench, benchtime, timeout string) error {
+	args := append([]string{
+		"test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", "-timeout", timeout,
+	}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	return parse(&buf, f)
+}
+
+// listBenchmarks resolves a -bench pattern to the top-level benchmark
+// names it matches in one package, in declaration order, without
+// running anything (`go test -list` compiles but does not execute).
+func listBenchmarks(pkg, bench string) ([]string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-list", bench, pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -list %s: %w", pkg, err)
+	}
+	var names []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if name := strings.TrimSpace(sc.Text()); strings.HasPrefix(name, "Benchmark") {
+			names = append(names, name)
+		}
+	}
+	return names, sc.Err()
 }
 
 // diff loads two emitted files and prints a per-benchmark comparison.

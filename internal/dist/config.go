@@ -8,8 +8,8 @@ import (
 )
 
 // Config wire codec. A worker's ShardEngine reads exactly these Config
-// fields: Model, StubsBreakTies, ProjectStubUpgrades, Tiebreaker, and
-// the two cache budgets — so exactly these travel. Decision-side
+// fields: Model, StubsBreakTies, ProjectStubUpgrades, NoProjectionBatch,
+// Tiebreaker, and the two cache budgets — so exactly these travel. Decision-side
 // fields (Theta*, EarlyAdopters, MaxRounds) stay with the coordinator,
 // which is the only party applying update rule (3); Workers is
 // superseded by the explicit shard assignment in the hello frame; and
@@ -18,7 +18,7 @@ import (
 // must be added here, or distributed runs would silently diverge —
 // which the differential tests in dist_test.go exist to catch.
 
-const configWireVersion = 1
+const configWireVersion = 2
 
 // encodeConfig renders the engine-relevant Config fields.
 func encodeConfig(cfg sim.Config) ([]byte, error) {
@@ -40,6 +40,9 @@ func encodeConfig(cfg sim.Config) ([]byte, error) {
 	if cfg.ProjectStubUpgrades {
 		flags |= 2
 	}
+	if cfg.NoProjectionBatch {
+		flags |= 4
+	}
 	e.u8(flags)
 	e.i64(cfg.StaticCacheBytes)
 	e.i64(cfg.DynamicCacheBytes)
@@ -58,6 +61,7 @@ func decodeConfig(p []byte) (sim.Config, error) {
 	flags := d.u8()
 	cfg.StubsBreakTies = flags&1 != 0
 	cfg.ProjectStubUpgrades = flags&2 != 0
+	cfg.NoProjectionBatch = flags&4 != 0
 	cfg.StaticCacheBytes = d.i64()
 	cfg.DynamicCacheBytes = d.i64()
 	tbw := d.bytes()

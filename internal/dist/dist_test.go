@@ -250,3 +250,239 @@ func TestCoordinatorRejectsEmpty(t *testing.T) {
 		t.Fatal("coordinator with 0 processes accepted")
 	}
 }
+
+// migratingExec wraps a Coordinator and, after selected ExecRound
+// calls, forces shard migrations through the rebalancing machinery —
+// the same drop/snapshot/assign handoff the timing-driven policy
+// issues, but on a fixed schedule so every interesting placement
+// transition is exercised deterministically.
+type migratingExec struct {
+	t     *testing.T
+	c     *Coordinator
+	calls int
+	// moves[k] runs after the k-th ExecRound (1-based; call 1 is the
+	// pristine pass): each entry migrates a shard to the given worker.
+	moves    map[int][]forcedMove
+	migrated int
+}
+
+type forcedMove struct {
+	shard, toWorker int
+}
+
+func (m *migratingExec) TotalShards() int { return m.c.TotalShards() }
+
+func (m *migratingExec) ExecRound(st sim.RoundState, cands []int32) ([]sim.ShardPartial, sim.ExecInfo, error) {
+	parts, info, err := m.c.ExecRound(st, cands)
+	if err != nil {
+		return parts, info, err
+	}
+	m.calls++
+	for _, mv := range m.moves[m.calls] {
+		var src *workerConn
+		for _, w := range m.c.workers {
+			for _, s := range w.shards {
+				if s == mv.shard {
+					src = w
+				}
+			}
+		}
+		dst := m.c.workers[mv.toWorker]
+		if src == nil || src == dst {
+			m.t.Fatalf("call %d: shard %d has no owner or is already on worker %d", m.calls, mv.shard, mv.toWorker)
+		}
+		if !m.c.migrateShard(src, dst, mv.shard, &info) {
+			m.t.Fatalf("call %d: migrating shard %d to worker %d failed", m.calls, mv.shard, mv.toWorker)
+		}
+	}
+	m.migrated += len(m.moves[m.calls])
+	return parts, info, err
+}
+
+// TestRebalanceForcedMigrations drives a kill-free distributed run
+// through a fixed migration schedule covering every placement
+// transition the rebalancer can produce: a shard moving to a peer, a
+// shard returning to a previous owner (re-adopting its warm static
+// cache, with the stale dynamic records purged), a worker stripped of
+// every shard, and an idle worker revived via the committed-state
+// snapshot. The Result must stay byte-identical to the in-process run
+// and to the static-placement distributed run. Runs over in-memory
+// pipes so -race sees both sides of every handoff.
+func TestRebalanceForcedMigrations(t *testing.T) {
+	g, adopters := testGraph(t, 500, 11)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		StubsBreakTies:  true,
+		Workers:         4,
+		RecordUtilities: true,
+		RecordStats:     true,
+	}
+	want := serialize(t, runLocal(t, g, cfg))
+
+	coordStatic, err := NewCoordinator(g, cfg, pipeWorkers(t, 2), Options{RoundTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordStatic.Close()
+	cfgStatic := cfg
+	cfgStatic.Executor = coordStatic
+	resStatic, err := sim.MustNew(g, cfgStatic).RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(t, resStatic); !bytes.Equal(got, want) {
+		t.Fatal("static-placement distributed result differs from in-process")
+	}
+
+	coord, err := NewCoordinator(g, cfg, pipeWorkers(t, 2), Options{RoundTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Initial placement: worker 0 owns {0,2}, worker 1 owns {1,3}.
+	exec := &migratingExec{t: t, c: coord, moves: map[int][]forcedMove{
+		1: {{shard: 0, toWorker: 1}},                                                   // plain migration
+		2: {{shard: 0, toWorker: 0}, {shard: 1, toWorker: 0}, {shard: 3, toWorker: 0}}, // shard 0 returns to its previous owner; worker 1 left empty
+		3: {{shard: 2, toWorker: 1}},                                                   // idle worker revived from the snapshot
+	}}
+	cfg.Executor = exec
+	res, err := sim.MustNew(g, cfg).RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every scheduled move needs at least one later round to compute on
+	// the new placement; calls = 1 pristine pass + one per round.
+	if exec.calls < 5 {
+		t.Fatalf("run finished after %d executor calls; the migration schedule needs at least 5", exec.calls)
+	}
+	if exec.migrated != 5 {
+		t.Fatalf("forced %d migrations, want 5", exec.migrated)
+	}
+	var migrated int
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			migrated += rd.Stats.ShardsMigrated
+		}
+	}
+	// The pristine pass's ExecInfo is not attached to any recorded
+	// round, so the migration forced after call 1 is invisible here.
+	if migrated != 4 {
+		t.Errorf("round stats report %d migrated shards, want 4", migrated)
+	}
+	if got := serialize(t, res); !bytes.Equal(got, want) {
+		t.Fatal("result with forced migrations differs from in-process")
+	}
+}
+
+// TestRebalanceOptionByteIdentity turns the timing-driven rebalancer
+// on with a hair-trigger ratio, so migrations fire organically nearly
+// every round, and checks bit-identity against the in-process run.
+// Which shards move where depends on wall-clock noise by design — the
+// invariant is that no placement sequence can change a single bit.
+func TestRebalanceOptionByteIdentity(t *testing.T) {
+	g, adopters := testGraph(t, 300, 5)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		Workers:         4,
+		RecordUtilities: true,
+	}
+	want := serialize(t, runLocal(t, g, cfg))
+	coord, err := NewCoordinator(g, cfg, pipeWorkers(t, 3),
+		Options{RoundTimeout: time.Minute, Rebalance: true, RebalanceRatio: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cfg.Executor = coord
+	res, err := sim.MustNew(g, cfg).RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(t, res); !bytes.Equal(got, want) {
+		t.Fatal("rebalanced result differs from in-process")
+	}
+}
+
+// TestRebalanceLocalWorkers runs the rebalancer over real fork-exec'd
+// worker processes — the drop/assign frames cross a genuine process
+// boundary — and checks bit-identity against the in-process run.
+func TestRebalanceLocalWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	g, adopters := testGraph(t, 300, 5)
+	cfg := sim.Config{
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		StubsBreakTies:  true,
+		Workers:         4,
+		RecordUtilities: true,
+	}
+	want := serialize(t, runLocal(t, g, cfg))
+	coord, err := NewLocalCoordinator(g, cfg, 2, Options{Rebalance: true, RebalanceRatio: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cfg.Executor = coord
+	res, err := sim.MustNew(g, cfg).RunE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serialize(t, res); !bytes.Equal(got, want) {
+		t.Fatal("rebalanced fork-exec result differs from in-process")
+	}
+}
+
+// TestTCPCoordinatorTimeout: startup against workers that cannot
+// answer must fail within the configured timeout, not hang. Three
+// shapes: a blackhole address (the dial itself must be bounded), a
+// connection-refused address, and a listener that accepts but never
+// speaks the protocol (the handshake read must be bounded).
+func TestTCPCoordinatorTimeout(t *testing.T) {
+	g, adopters := testGraph(t, 50, 1)
+	cfg := sim.Config{Theta: 0.05, EarlyAdopters: adopters, Workers: 2}
+	opts := Options{RoundTimeout: 500 * time.Millisecond}
+
+	check := func(name, addr string) {
+		start := time.Now()
+		_, err := NewTCPCoordinator(g, cfg, []string{addr}, opts)
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("%s: coordinator startup succeeded against %s", name, addr)
+		}
+		if elapsed > 10*time.Second {
+			t.Fatalf("%s: startup failed only after %v, want within the configured timeout", name, elapsed)
+		}
+	}
+
+	// TEST-NET-1 is reserved and unrouted: without a dial timeout this
+	// blocks for the kernel's SYN-retry budget (minutes).
+	check("blackhole", "192.0.2.1:9")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refused := ln.Addr().String()
+	ln.Close()
+	check("refused", refused)
+
+	silent, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	go func() {
+		for {
+			c, err := silent.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold the connection open, never answer
+		}
+	}()
+	check("silent", silent.Addr().String())
+}

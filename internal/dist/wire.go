@@ -37,11 +37,12 @@ import (
 )
 
 // protoVersion guards both sides against frame-format drift; bump on
-// any wire change.
-const protoVersion = 1
+// any wire change. v2 added the drop frame (shard rebalancing) and the
+// NoProjectionBatch config flag.
+const protoVersion = 2
 
 // Frame types. Direction is fixed per type: the coordinator sends
-// hello/snapshot/round/assign/recompute/bye, workers send
+// hello/snapshot/round/assign/recompute/drop/bye, workers send
 // helloAck/partials/heartbeat/error.
 const (
 	frameHello     = 1
@@ -54,6 +55,7 @@ const (
 	frameHeartbeat = 8
 	frameError     = 9
 	frameBye       = 10
+	frameDrop      = 11
 )
 
 // maxFrameLen bounds a frame payload (1 GiB): large enough for a
@@ -423,6 +425,30 @@ func decodeAssign(p []byte) ([]int, error) {
 	d := &dec{b: p}
 	if d.u8() != frameAssign {
 		return nil, fmt.Errorf("dist: not an assign frame")
+	}
+	shards := d.ints(nil)
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// dropMsg relinquishes part of a worker's shard ownership (the source
+// side of a rebalancing migration; the destination side is an assign).
+// Stream ordering makes an ack unnecessary: the drop is processed
+// before any later round frame, so the next partials already exclude
+// the dropped shards.
+func encodeDrop(shards []int) []byte {
+	e := &enc{}
+	e.u8(frameDrop)
+	e.ints(shards)
+	return e.b
+}
+
+func decodeDrop(p []byte) ([]int, error) {
+	d := &dec{b: p}
+	if d.u8() != frameDrop {
+		return nil, fmt.Errorf("dist: not a drop frame")
 	}
 	shards := d.ints(nil)
 	if err := d.done(); err != nil {

@@ -119,6 +119,20 @@ func TestAssignRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDropRoundTrip(t *testing.T) {
+	in := []int{2, 5, 11}
+	out, err := decodeDrop(encodeDrop(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %v, want %v", out, in)
+	}
+	if _, err := decodeDrop(encodeAssign(in)); err == nil {
+		t.Fatal("assign frame decoded as drop")
+	}
+}
+
 // TestPartialsRoundTrip checks the float vectors survive bit-exactly —
 // including NaN payloads and signed zeros — and that every ShardStats
 // field travels.
@@ -192,6 +206,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	cfgs := []sim.Config{
 		{},
 		{Model: sim.Incoming, StubsBreakTies: true, StaticCacheBytes: -1},
+		{NoProjectionBatch: true, DynamicCacheBytes: -1},
 		{ProjectStubUpgrades: true, StaticCacheBytes: 1 << 20, DynamicCacheBytes: 1 << 21, Tiebreaker: routing.HashTiebreaker{Seed: 99}},
 		{Tiebreaker: routing.LowestIndex{}},
 		{Tiebreaker: routing.PreferenceOrder{Rank: map[int32]map[int32]int{4: {1: 2, 3: 0}}}},

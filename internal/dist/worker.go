@@ -168,6 +168,14 @@ func serveConn(conn io.ReadWriter, opts serveOpts) error {
 			if err := eng.AddShards(shards); err != nil {
 				return bail(err)
 			}
+		case frameDrop:
+			shards, err := decodeDrop(buf)
+			if err != nil {
+				return bail(err)
+			}
+			if err := eng.RemoveShards(shards); err != nil {
+				return bail(err)
+			}
 		case frameRecompute:
 			if err := decodeRecompute(buf, &rec); err != nil {
 				return bail(err)

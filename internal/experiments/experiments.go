@@ -51,6 +51,9 @@ type Options struct {
 	// fork-exec'd local worker processes (see internal/dist and
 	// Store.DistWorkers). Placement knob only — bit-identical results.
 	DistWorkers int
+	// Rebalance enables dynamic shard rebalancing on distributed runs
+	// (dist.Options.Rebalance). Like DistWorkers itself, placement only.
+	Rebalance bool
 	// Out receives the experiment's report (default io.Discard).
 	Out io.Writer
 
@@ -90,6 +93,7 @@ func (o Options) withDefaults() Options {
 		o.store.StaticCacheBytes = o.StaticCacheBytes
 		o.store.DynamicCacheBytes = o.DynamicCacheBytes
 		o.store.DistWorkers = o.DistWorkers
+		o.store.Rebalance = o.Rebalance
 	}
 	return o
 }

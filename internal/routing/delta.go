@@ -62,6 +62,19 @@ func (w *Workspace) PrepareDelta(s *Static) {
 			w.revCur[b]++
 		}
 	}
+	// Descending order positions whose node has at least one dependent —
+	// the only rows a flip-effects pass (PrepareFlipEffects) visits.
+	// Leaves (most of the graph) are nobody's tiebreak candidate, so the
+	// filtered list is a fraction of the order.
+	if cap(s.depPos) < len(s.order) {
+		s.depPos = make([]int32, 0, len(s.order))
+	}
+	s.depPos = s.depPos[:0]
+	for k := len(s.order) - 1; k >= 0; k-- {
+		if b := s.order[k]; s.revOff[b+1] > s.revOff[b] {
+			s.depPos = append(s.depPos, int32(k))
+		}
+	}
 	s.deltaReady = true
 }
 
@@ -130,7 +143,22 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		i := s.order[word<<6|b]
 		touched++
 		w.touched = append(w.touched, i)
-		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+		// Singleton tiebreak sets (the overwhelming majority, paper
+		// Fig. 10) admit no choice: decideNode provably returns the lone
+		// candidate as parent with the flag simply mirroring it, so the
+		// call — and its candidate scan — is short-circuited.
+		var p int32
+		var sec, ok bool
+		if o := s.tbOff[i]; s.tbOff[i+1]-o == 1 {
+			p = s.tbAdj[o]
+			iSec := secure[i]
+			if flipped != nil && flipped[i] {
+				iSec = !iSec
+			}
+			sec, ok = iSec && t.Secure[p], true
+		} else {
+			p, sec, ok = decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+		}
 		if !ok || (p == t.Parent[i] && sec == t.Secure[i]) {
 			continue
 		}

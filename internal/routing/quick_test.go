@@ -157,6 +157,64 @@ func TestQuickIncrementalResolution(t *testing.T) {
 	}
 }
 
+// TestQuickFlipPrediction: the batched projection predictor
+// (PrepareFlipEffects / FlipChangesTree) must be safe — whenever it
+// predicts a single-node flip leaves every parent in place, actually
+// propagating the flip must report no parent change (the skipped
+// projection's delta is then exactly zero). The reverse direction may
+// over-approximate, but on single-flag ripples it should be rare; the
+// property tracks it to guard against the predictor degenerating into
+// "always true".
+func TestQuickFlipPrediction(t *testing.T) {
+	var predicted, actual int
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 4+rng.Intn(18), 0.15, 0.1, 0.25)
+		n := g.N()
+		sec, brk := asgraphtest.RandomState(rng, n, 0.5, 0.7)
+		tb := HashTiebreaker{Seed: uint64(seed)}
+		w := NewWorkspace(g)
+
+		flipped := make([]bool, n)
+		var base, proj Tree
+		for d := int32(0); d < int32(n); d++ {
+			s := w.PrepareDest(d, tb)
+			base.Clear(n)
+			w.ResolveInto(&base, s, sec, brk, nil, nil, tb)
+			w.PrepareDelta(s)
+			w.PrepareFlipEffects(s, &base, sec, brk, tb)
+			proj.CopyFrom(&base)
+			for _, c := range s.Order() {
+				// The engine only consults the predictor for candidates
+				// whose projected policy is to break ties (ISPs); turned-off
+				// nodes never break ties, matching ApplyFlips.
+				pred := w.FlipChangesTree(s, &base, sec, brk, tb, c)
+				flipped[c] = true
+				changed, _ := w.ApplyFlips(&proj, s, sec, brk, flipped, nil, []int32{c}, tb)
+				w.RevertFlips(&proj)
+				flipped[c] = false
+				if !pred && changed {
+					t.Logf("seed %d dest %d cand %d: predicted unchanged but parents moved", seed, d, c)
+					return false
+				}
+				if pred {
+					predicted++
+					if changed {
+						actual++
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	if predicted > 0 && actual*2 < predicted {
+		t.Errorf("predictor over-approximates badly: %d predicted moves, only %d real", predicted, actual)
+	}
+}
+
 func treesEqual(a, b *Tree, n int) bool {
 	for i := 0; i < n; i++ {
 		if a.Parent[i] != b.Parent[i] || a.Secure[i] != b.Secure[i] {

@@ -102,6 +102,14 @@ func (w *Workspace) materialize(st SecureState) {
 //
 // When the static info carries precomputed tiebreak winners
 // (PrepareDest), the state-independent TB step costs O(1) per node.
+// Unflipped resolutions against such a Static additionally take a
+// struct-of-arrays fast path: the winner array is full-length with -1
+// for the destination and unreachable nodes, so every parent is seeded
+// by one whole-array copy and the per-node loop only computes Secure
+// flags — with a full decision just for SecP nodes, whose parent may
+// deviate from the plain-TB winner. The decision procedure is the same
+// decideNode either way, so the resulting tree is bit-identical to the
+// generic path's.
 func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker) {
 	t.Dest = s.Dest
 	if len(t.Parent) < w.g.N() {
@@ -114,6 +122,30 @@ func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipp
 	t.Parent[s.Dest] = -1
 	t.Secure[s.Dest] = dSec
 
+	if flipped == nil && s.win != nil {
+		copy(t.Parent, s.win)
+		t.Parent[s.Dest] = -1
+		win, sec := s.win, t.Secure
+		for _, i := range s.order {
+			if !secure[i] {
+				sec[i] = false
+				continue
+			}
+			// A non-SecP node keeps its winner with the flag mirroring
+			// it; so does a SecP node with a singleton tiebreak set (the
+			// overwhelming majority) — one candidate admits no choice, and
+			// decideNode would return exactly (win[i], sec[win[i]]).
+			if !breaks[i] || s.tbOff[i+1]-s.tbOff[i] == 1 {
+				sec[i] = sec[win[i]]
+				continue
+			}
+			if p, sc, ok := decideNode(t, s, secure, breaks, nil, nil, tb, i); ok {
+				t.Parent[i] = p
+				sec[i] = sc
+			}
+		}
+		return
+	}
 	w.resolveRange(t, nil, s, secure, breaks, flipped, flipBreaks, tb, 0)
 }
 

@@ -88,12 +88,24 @@ type Static struct {
 	// nodes whose tiebreak set contains b. Like everything else in a
 	// Static it depends only on (graph, destination), so it lives here —
 	// not in the Workspace — and snapshots carry it across rounds.
-	revOff     []int32
-	revAdj     []int32
+	revOff []int32
+	revAdj []int32
+	// depPos lists, in descending order, the order positions of nodes
+	// with at least one dependent (built with the index above): the only
+	// rows a flip-effects pass visits.
+	depPos     []int32
 	deltaReady bool
-	// provParents, when provReady, memoizes ProviderParents.
+	// provParents, when provReady, memoizes ProviderParents; provBits is
+	// the same set as a node-indexed bitset (built with the list).
 	provParents []int32
+	provBits    []uint64
 	provReady   bool
+	// supOut/supIn memoize the per-model utility support lists
+	// (SupportOutgoing / SupportIncoming).
+	supOut      []int32
+	supOutReady bool
+	supIn       []int32
+	supInReady  bool
 }
 
 // Tiebreak returns the tiebreak set of node i: the next hops of all of
@@ -115,14 +127,80 @@ func (s *Static) Order() []int32 { return s.order }
 func (s *Static) ProviderParents() []int32 {
 	if !s.provReady {
 		s.provParents = s.provParents[:0]
+		nw := (len(s.Type) + 63) / 64
+		if cap(s.provBits) < nw {
+			s.provBits = make([]uint64, nw)
+		}
+		s.provBits = s.provBits[:nw]
+		for i := range s.provBits {
+			s.provBits[i] = 0
+		}
 		for _, i := range s.order {
 			if s.Type[i] == ProviderRoute {
-				s.provParents = append(s.provParents, s.Tiebreak(i)...)
+				for _, b := range s.Tiebreak(i) {
+					s.provParents = append(s.provParents, b)
+					s.provBits[b>>6] |= 1 << uint(b&63)
+				}
 			}
 		}
 		s.provReady = true
 	}
 	return s.provParents
+}
+
+// IsProviderParent reports whether node i appears in the tiebreak set of
+// some node with a provider-class best route — the state-independent
+// test for whether i can ever receive traffic over a customer edge for
+// this destination (its incoming-model contribution is identically zero
+// otherwise).
+func (s *Static) IsProviderParent(i int32) bool {
+	if !s.provReady {
+		s.ProviderParents()
+	}
+	return s.provBits[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SupportOutgoing filters list (ascending node ids, typically the
+// graph's ISP index) down to the members whose outgoing-model utility
+// contribution (Eq. 1) can be nonzero for this destination: those whose
+// best route is customer-class, a state-independent property
+// (Observation C.1). Memoized on first call; every later call must pass
+// the same list. The result aliases internal storage and preserves the
+// ascending order of list.
+func (s *Static) SupportOutgoing(list []int32) []int32 {
+	if !s.supOutReady {
+		s.supOut = s.supOut[:0]
+		for _, i := range list {
+			if s.Type[i] == CustomerRoute {
+				s.supOut = append(s.supOut, i)
+			}
+		}
+		s.supOutReady = true
+	}
+	return s.supOut
+}
+
+// SupportIncoming filters list (ascending node ids, typically the
+// graph's ISP index) down to the members whose incoming-model utility
+// contribution (Eq. 2) can be nonzero for this destination: the
+// provider parents, the only nodes that can receive traffic over a
+// customer edge in any deployment state. Memoized on first call; every
+// later call must pass the same list. The result aliases internal
+// storage and preserves the ascending order of list.
+func (s *Static) SupportIncoming(list []int32) []int32 {
+	if !s.supInReady {
+		if !s.provReady {
+			s.ProviderParents()
+		}
+		s.supIn = s.supIn[:0]
+		for _, i := range list {
+			if s.provBits[i>>6]&(1<<uint(i&63)) != 0 {
+				s.supIn = append(s.supIn, i)
+			}
+		}
+		s.supInReady = true
+	}
+	return s.supIn
 }
 
 // Pos returns node i's index in Order(), or -1 for the destination and
@@ -137,9 +215,14 @@ type Workspace struct {
 
 	static Static
 
-	// scratch for ComputeStatic
+	// scratch for ComputeStatic, all flat (struct-of-arrays): a BFS
+	// queue, a counting-sort level index (lvlOff/lvlFlat) over path
+	// lengths, and the two frontier slices of the stage-3 relaxation.
 	queue   []int32
-	buckets [][]int32
+	lvlOff  []int32
+	lvlFlat []int32
+	curQ    []int32
+	nxtQ    []int32
 
 	// scratch for Resolve
 	tree       Tree
@@ -155,6 +238,10 @@ type Workspace struct {
 	pend    []uint64
 	undo    []undoEntry
 	touched []int32
+
+	// scratch for the batched projection predictor (PrepareFlipEffects):
+	// order-position-indexed move bitset.
+	effBits []uint64
 }
 
 // NewWorkspace returns a Workspace sized for graph g.
@@ -194,6 +281,8 @@ func (w *Workspace) ComputeStatic(d int32) *Static {
 	s.win = nil
 	s.deltaReady = false
 	s.provReady = false
+	s.supOutReady = false
+	s.supInReady = false
 	for i := int32(0); i < n; i++ {
 		s.Type[i] = NoRoute
 		s.Len[i] = -1
@@ -252,60 +341,119 @@ func (w *Workspace) ComputeStatic(d int32) *Static {
 	// Stage 3: provider routes, by ascending total length. A node's
 	// provider exports its own best route of any class (GR2 allows
 	// everything to customers), so the candidate length via provider b is
-	// Len[b]+1. Process with a bucket queue over lengths: start from all
-	// settled nodes and relax their customers.
-	if int(maxLen)+1 > len(w.buckets) {
-		nb := make([][]int32, maxLen+2+n)
-		copy(nb, w.buckets)
-		w.buckets = nb
+	// Len[b]+1. A relaxation from level l can only claim nodes at level
+	// l+1, so a two-slice frontier (current level, next level) suffices;
+	// the settled stage-1/2 seeds are grouped by length once with a flat
+	// counting sort and drained alongside the frontier of their level.
+	// Level values never shrink below the claim (improvements replace
+	// only longer provider routes), so a stale frontier entry is detected
+	// by its recorded length.
+	if len(w.lvlOff) < int(maxLen)+2 {
+		w.lvlOff = make([]int32, maxLen+2+n)
 	}
-	for i := range w.buckets {
-		w.buckets[i] = w.buckets[i][:0]
+	lvlOff := w.lvlOff[:maxLen+2]
+	for i := range lvlOff {
+		lvlOff[i] = 0
 	}
-	growBuckets := func(l int32) {
-		for int(l) >= len(w.buckets) {
-			w.buckets = append(w.buckets, nil)
-		}
-	}
+	nSettled := int32(0)
 	for i := int32(0); i < n; i++ {
 		if s.Type[i] != NoRoute {
-			growBuckets(s.Len[i])
-			w.buckets[s.Len[i]] = append(w.buckets[s.Len[i]], i)
+			lvlOff[s.Len[i]+1]++
+			nSettled++
 		}
 	}
-	for l := int32(0); int(l) < len(w.buckets); l++ {
-		for _, b := range w.buckets[l] {
+	for l := 0; l+1 < len(lvlOff); l++ {
+		lvlOff[l+1] += lvlOff[l]
+	}
+	if cap(w.lvlFlat) < int(nSettled) {
+		w.lvlFlat = make([]int32, nSettled)
+	}
+	lvlFlat := w.lvlFlat[:nSettled]
+	{
+		cur := w.queue[:0] // reuse as the scatter cursor, one per level
+		for l := 0; l < len(lvlOff)-1; l++ {
+			cur = append(cur, lvlOff[l])
+		}
+		for i := int32(0); i < n; i++ {
+			if s.Type[i] != NoRoute {
+				l := s.Len[i]
+				lvlFlat[cur[l]] = i
+				cur[l]++
+			}
+		}
+		w.queue = cur[:0]
+	}
+	maxFinal := maxLen
+	cur, next := w.curQ[:0], w.nxtQ[:0]
+	relax := func(b, l int32) {
+		for _, c := range g.Customers(b) {
+			nl := l + 1
+			if s.Type[c] == NoRoute || (s.Type[c] == ProviderRoute && nl < s.Len[c]) {
+				s.Type[c] = ProviderRoute
+				s.Len[c] = nl
+				if nl > maxFinal {
+					maxFinal = nl
+				}
+				next = append(next, c)
+			}
+		}
+	}
+	for l := int32(0); ; l++ {
+		if int(l)+1 < len(lvlOff) {
+			for _, b := range lvlFlat[lvlOff[l]:lvlOff[l+1]] {
+				relax(b, l)
+			}
+		} else if len(cur) == 0 {
+			break
+		}
+		for _, b := range cur {
 			if s.Len[b] != l {
 				continue // stale entry superseded by a shorter route
 			}
-			for _, c := range g.Customers(b) {
-				nl := l + 1
-				if s.Type[c] == NoRoute || (s.Type[c] == ProviderRoute && nl < s.Len[c]) {
-					s.Type[c] = ProviderRoute
-					s.Len[c] = nl
-					growBuckets(nl)
-					w.buckets[nl] = append(w.buckets[nl], c)
-				}
-			}
+			relax(b, l)
 		}
+		cur, next = next, cur[:0]
 	}
+	w.curQ, w.nxtQ = cur[:0], next[:0]
 
 	// Tiebreak sets and processing order. Members of node i's tiebreak
-	// set are the next hops consistent with (Type[i], Len[i]).
+	// set are the next hops consistent with (Type[i], Len[i]). The order
+	// is a flat counting sort over final lengths — ascending length,
+	// ascending node id within a length.
 	s.tbAdj = s.tbAdj[:0]
-	s.order = s.order[:0]
-	// Rebuild buckets as the final ascending-length order.
-	for i := range w.buckets {
-		w.buckets[i] = w.buckets[i][:0]
+	if len(w.lvlOff) < int(maxFinal)+2 {
+		w.lvlOff = make([]int32, maxFinal+2)
+	}
+	lvlOff = w.lvlOff[:maxFinal+2]
+	for i := range lvlOff {
+		lvlOff[i] = 0
 	}
 	for i := int32(0); i < n; i++ {
 		if i != d && s.Type[i] != NoRoute {
-			growBuckets(s.Len[i])
-			w.buckets[s.Len[i]] = append(w.buckets[s.Len[i]], i)
+			lvlOff[s.Len[i]+1]++
 		}
 	}
-	for l := 1; l < len(w.buckets); l++ {
-		s.order = append(s.order, w.buckets[l]...)
+	for l := 0; l+1 < len(lvlOff); l++ {
+		lvlOff[l+1] += lvlOff[l]
+	}
+	nOrder := lvlOff[len(lvlOff)-1]
+	if cap(s.order) < int(nOrder) {
+		s.order = make([]int32, nOrder)
+	}
+	s.order = s.order[:nOrder]
+	{
+		cur := w.queue[:0]
+		for l := 0; l < len(lvlOff)-1; l++ {
+			cur = append(cur, lvlOff[l])
+		}
+		for i := int32(0); i < n; i++ {
+			if i != d && s.Type[i] != NoRoute {
+				l := s.Len[i]
+				s.order[cur[l]] = i
+				cur[l]++
+			}
+		}
+		w.queue = cur[:0]
 	}
 	for i := int32(0); i < n; i++ {
 		s.pos[i] = -1
@@ -346,12 +494,19 @@ func (w *Workspace) ComputeStatic(d int32) *Static {
 // step would pick). Resolutions against the returned Static then cost
 // O(1) per node for the TB step, which matters when one destination is
 // resolved once per candidate ISP each round.
+//
+// The winner array is full-length with -1 for the destination and
+// unreachable nodes — exactly a cleared Tree's Parent entries — so
+// ResolveInto can seed a tree's parents with one whole-array copy.
 func (w *Workspace) PrepareDest(d int32, tb Tiebreaker) *Static {
 	s := w.ComputeStatic(d)
 	if cap(w.winBuf) < len(s.Type) {
 		w.winBuf = make([]int32, len(s.Type))
 	}
 	w.winBuf = w.winBuf[:len(s.Type)]
+	for i := range w.winBuf {
+		w.winBuf[i] = -1
+	}
 	for _, i := range s.order {
 		cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
 		best := cands[0]

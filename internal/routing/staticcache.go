@@ -39,11 +39,15 @@ func (s *Static) MemBytes() int64 {
 	b += 4 * (n + 1) // tbOff
 	b += 4 * t       // tbAdj
 	b += 4 * int64(len(s.order))
-	b += 4 * n       // pos
-	b += 4 * n       // win (snapshots always carry winners)
-	b += 4 * (n + 1) // revOff, counted even before PrepareDelta
-	b += 4 * t       // revAdj, likewise
-	b += 4 * t       // provParents upper bound, likewise
+	b += 4 * n                   // pos
+	b += 4 * n                   // win (snapshots always carry winners)
+	b += 4 * (n + 1)             // revOff, counted even before PrepareDelta
+	b += 4 * t                   // revAdj, likewise
+	b += 4 * int64(len(s.order)) // depPos upper bound, likewise
+	b += 4 * t                   // provParents upper bound, likewise
+	b += n / 8                   // provBits, likewise
+	b += 4 * t                   // supIn upper bound (subset of provider parents)
+	b += 4 * n                   // supOut upper bound (subset of the class list)
 	return b + sliceOverhead
 }
 
@@ -69,10 +73,20 @@ func (s *Static) Snapshot() *Static {
 	if s.deltaReady {
 		c.revOff = append([]int32(nil), s.revOff...)
 		c.revAdj = append([]int32(nil), s.revAdj...)
+		c.depPos = append([]int32(nil), s.depPos...)
 	}
 	if s.provReady {
 		c.provReady = true
 		c.provParents = append([]int32(nil), s.provParents...)
+		c.provBits = append([]uint64(nil), s.provBits...)
+	}
+	if s.supOutReady {
+		c.supOutReady = true
+		c.supOut = append([]int32(nil), s.supOut...)
+	}
+	if s.supInReady {
+		c.supInReady = true
+		c.supIn = append([]int32(nil), s.supIn...)
 	}
 	return c
 }
@@ -216,7 +230,8 @@ func (sc *SharedStaticCache) Get(d int32) *Static {
 	return sc.c.Get(d)
 }
 
-// Add materializes s in full (delta dependents, provider parents; the
+// Add materializes s in full (delta dependents, provider parents and
+// the per-model utility support lists over the graph's ISP index; the
 // caller's PrepareDest already computed the winners), snapshots it, and
 // publishes the snapshot budget permitting. Two workers that computed
 // the same destination concurrently dedupe here: the loser gets the
@@ -229,6 +244,8 @@ func (sc *SharedStaticCache) Add(w *Workspace, s *Static) *Static {
 	}
 	w.PrepareDelta(s)
 	s.ProviderParents()
+	s.SupportOutgoing(w.Graph().ISPs())
+	s.SupportIncoming(w.Graph().ISPs())
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if got := sc.c.Get(s.Dest); got != nil {

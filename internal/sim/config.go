@@ -174,6 +174,19 @@ type Config struct {
 	// Purely an execution-placement knob, excluded from Fingerprint.
 	Executor Executor
 
+	// NoProjectionBatch disables the batched projection predictor: the
+	// per-destination move-predictor pass (routing.PrepareFlipEffects)
+	// that lets single-node candidate projections provably moving no
+	// parent skip change propagation entirely. With it set, every
+	// surviving candidate runs full ApplyFlips change propagation, as
+	// before.
+	//
+	// Purely a performance knob: a predicted-unchanged projection has a
+	// utility delta of exactly zero — the same zero the propagation path
+	// would add — so every Result is bit-equal at either setting and the
+	// field is excluded from Fingerprint.
+	NoProjectionBatch bool
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.

@@ -394,18 +394,11 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			Candidates:       len(candList),
 			ShardsReassigned: info.ShardsReassigned,
 			WorkersLost:      info.WorkersLost,
+			ShardsMigrated:   info.ShardsMigrated,
 		}
 		var sum ShardStats
-		var wallMax, wallMin int64
 		for i := range partials {
-			ps := &partials[i].Stats
-			sum.add(ps)
-			if i == 0 || ps.WallNS > wallMax {
-				wallMax = ps.WallNS
-			}
-			if i == 0 || ps.WallNS < wallMin {
-				wallMin = ps.WallNS
-			}
+			sum.add(&partials[i].Stats)
 		}
 		stats.StaticHits = sum.StaticHits
 		stats.StaticMisses = sum.StaticMisses
@@ -426,11 +419,7 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		stats.DynCacheBytes = sum.DynCacheBytes
 		stats.DynCacheEntries = int(sum.DynCacheEntries)
 		stats.DynCacheEvictions = sum.DynCacheEvictions
-		stats.ShardWallMax = time.Duration(wallMax)
-		stats.ShardWallMin = time.Duration(wallMin)
-		if mean := sum.WallNS / int64(len(partials)); mean > 0 {
-			stats.StragglerRatio = float64(wallMax) / float64(mean)
-		}
+		stats.ShardWallMax, stats.ShardWallMin, stats.StragglerRatio = shardTiming(partials)
 		// A graph-level shared static store is not owned by any shard;
 		// count it once on top of the per-shard private caches (which
 		// are empty when a store is bound).
@@ -447,6 +436,31 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		}
 	}
 	return uBase, uProj, stats, nil
+}
+
+// shardTiming aggregates the per-shard wall times of a round's partials
+// into the extrema and the straggler ratio (slowest shard over mean).
+// With no partials — a round that computed no shards — everything stays
+// zero rather than dividing by zero or reporting a garbage minimum.
+func shardTiming(partials []ShardPartial) (wallMax, wallMin time.Duration, straggler float64) {
+	if len(partials) == 0 {
+		return 0, 0, 0
+	}
+	var sumNS, maxNS, minNS int64
+	for i := range partials {
+		w := partials[i].Stats.WallNS
+		sumNS += w
+		if i == 0 || w > maxNS {
+			maxNS = w
+		}
+		if i == 0 || w < minNS {
+			minNS = w
+		}
+	}
+	if mean := sumNS / int64(len(partials)); mean > 0 {
+		straggler = float64(maxNS) / float64(mean)
+	}
+	return time.Duration(maxNS), time.Duration(minNS), straggler
 }
 
 // roundCtx bundles the inputs every worker reads during one round:
@@ -504,8 +518,6 @@ type worker struct {
 	flipMark    []bool
 	flipBreaks  []bool
 	flipScratch []int32
-	provParent  []bool
-	provMarked  []int32
 	witMark     []bool // dedup marks while building a record's witness
 	witCap      int    // witness size cap: n/4 plus slack
 	stats       workerStats
@@ -546,7 +558,6 @@ func newWorker(g *asgraph.Graph, n int) *worker {
 		uDelta:     make([]float64, n),
 		flipMark:   make([]bool, n),
 		flipBreaks: make([]bool, n),
-		provParent: make([]bool, n),
 		witMark:    make([]bool, n),
 		witCap:     n/4 + 16,
 	}
@@ -672,16 +683,25 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		wk.stats.baseResolutions++
 	}
 
-	// Base utility contributions, over the precomputed ISP index list —
-	// scanning all n nodes per destination was an O(n²)-per-round cost.
-	// Only nonzero contributions are recorded: the accumulators never
-	// hold -0.0, so eliding +0.0 additions on replay is bit-safe.
-	// Deltas and their witness are recorded only while the backoff
-	// allows: a record whose memos keep dying to the flip churn stops
-	// paying the recording costs until the flip sets shrink toward the
-	// near-convergence regime (see destRecord.dirtyStreak).
+	// Base utility contributions, over the destination's memoized utility
+	// support list — the ascending subset of the ISP index whose
+	// contribution can be nonzero for this destination in any state
+	// (customer-route ISPs under outgoing, provider-parent ISPs under
+	// incoming). ISPs outside it would only ever add +0.0, and the
+	// accumulators never hold -0.0, so eliding those additions is
+	// bit-safe — the same argument that lets replay record only nonzero
+	// contributions. Deltas and their witness are recorded only while
+	// the backoff allows: a record whose memos keep dying to the flip
+	// churn stops paying the recording costs until the flip sets shrink
+	// toward the near-convergence regime (see destRecord.dirtyStreak).
 	recBase := rec != nil
 	recDeltas := recBase && (rec.dirtyStreak < dynDirtyStreakLimit || len(rc.flipList) <= dynSmallFlipRound)
+	var support []int32
+	if cfg.Model == Outgoing {
+		support = stc.SupportOutgoing(wk.isps)
+	} else {
+		support = stc.SupportIncoming(wk.isps)
+	}
 	if baseValid {
 		// Contributions read only parents, types and weights, none of
 		// which moved: the recorded floats are the ones the fresh loop
@@ -694,7 +714,7 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		if recBase {
 			rec.base = rec.base[:0]
 		}
-		for _, i := range wk.isps {
+		for _, i := range support {
 			v := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
 			wk.uBase[i] += v
 			if recBase && v != 0 {
@@ -720,25 +740,25 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		}
 	}
 
-	if cfg.Model == Incoming {
-		wk.markProviderParents(stc)
-	}
-
 	if recDeltas {
 		rec.delta = rec.delta[:0]
 		wk.beginWitness(rec, stc, cfg)
 	}
 
-	// The dependents index and the base-tree copy that change propagation
-	// works on are built lazily, only if some candidate survives the skip
-	// rules for this destination.
-	deltaReady := false
-	// On the baseValid path accBase/incBase are stale (the accumulation
-	// was skipped); candidates read their base contribution from the
-	// record instead. rec.base and candList are both ascending, so a
-	// single forward cursor serves every lookup.
-	baseIdx := 0
-
+	// Batched projection prediction: with the move predictor prepared
+	// once for this destination's tree, single-node candidate flips that
+	// provably move no parent are skipped without running change
+	// propagation at all. Disabled while deltas are being recorded — a
+	// skipped projection contributes no touched nodes to the record's
+	// witness, which must cover everything that can make its delta
+	// nonzero later.
+	useBatch := !cfg.NoProjectionBatch && !recDeltas
+	// The dependents index (plus predictor) and the base-tree copy that
+	// change propagation works on are built lazily: the former when some
+	// candidate survives the skip rules, the latter only when one also
+	// needs an actual propagation.
+	predReady := false
+	projReady := false
 	for _, c := range rc.candList {
 		// Zero-utility skip: a candidate whose utility contribution for
 		// this destination is identically zero in every deployment state
@@ -753,7 +773,7 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 				wk.stats.skipZeroUtil++
 				continue
 			}
-		} else if !wk.provParent[c] {
+		} else if !stc.IsProviderParent(c) {
 			wk.stats.skipZeroUtil++
 			continue
 		}
@@ -762,11 +782,26 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			wk.clearFlips(flips)
 			continue
 		}
-		if !deltaReady {
+		if !predReady {
 			wk.ws.PrepareDelta(stc)
+			if useBatch {
+				wk.ws.PrepareFlipEffects(stc, tree, st.secure, st.breaks, cfg.Tiebreaker)
+			}
+			predReady = true
+		}
+		if useBatch && len(flips) == 1 && c != d {
+			if !wk.ws.FlipChangesTree(stc, tree, st.secure, st.breaks, cfg.Tiebreaker, c) {
+				// Predicted structurally unchanged: the projected tree
+				// routes identically, so the delta is exactly zero.
+				wk.clearFlips(flips)
+				wk.stats.projUnchanged++
+				continue
+			}
+		}
+		if !projReady {
 			wk.projTree.CopyFrom(tree)
 			wk.buildChildIndex(stc, tree, n)
-			deltaReady = true
+			projReady = true
 		}
 		parentsChanged, touched := wk.ws.ApplyFlips(&wk.projTree, stc,
 			st.secure, st.breaks, wk.flipMark, wk.flipBreaks, flips, cfg.Tiebreaker)
@@ -789,19 +824,7 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			continue
 		}
 		wk.movedBuf = wk.ws.ParentMoves(&wk.projTree, wk.movedBuf[:0])
-		projC := wk.accumulateAt(cfg.Model, stc, &wk.projTree, weights, c, wk.movedBuf)
-		var baseC float64
-		if baseValid {
-			for baseIdx < len(rec.base) && rec.base[baseIdx].node < c {
-				baseIdx++
-			}
-			if baseIdx < len(rec.base) && rec.base[baseIdx].node == c {
-				baseC = rec.base[baseIdx].val
-			}
-		} else {
-			baseC = wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, c)
-		}
-		v := projC - baseC
+		v := wk.deltaAt(cfg.Model, stc, tree, &wk.projTree, weights, c, wk.movedBuf)
 		wk.uDelta[c] += v
 		if recDeltas {
 			rec.delta = append(rec.delta, contribEntry{c, v})
@@ -922,27 +945,6 @@ func (wk *worker) addWitness(rec *destRecord, i int32) {
 func (wk *worker) endWitness(rec *destRecord) {
 	for _, i := range rec.witness {
 		wk.witMark[i] = false
-	}
-}
-
-// markProviderParents fills wk.provParent[b] = true iff some node with a
-// provider-class best route lists b in its tiebreak set. Parents are
-// always drawn from tiebreak sets, so in every deployment state a node
-// not marked here receives no traffic over customer edges for this
-// destination: its incoming utility contribution (Eq. 2) is identically
-// zero. The member list is state-independent and memoized on the Static
-// (so cached destinations skip the order scan); marks are cleared via
-// the previous destination's list instead of an O(n) wipe.
-func (wk *worker) markProviderParents(stc *routing.Static) {
-	for _, i := range wk.provMarked {
-		wk.provParent[i] = false
-	}
-	pp := stc.ProviderParents()
-	// Copy, not alias: a workspace-owned Static's list is overwritten by
-	// the next PrepareDest, and the clear above must outlive it.
-	wk.provMarked = append(wk.provMarked[:0], pp...)
-	for _, b := range pp {
-		wk.provParent[b] = true
 	}
 }
 
@@ -1080,6 +1082,85 @@ func (wk *worker) buildChildIndex(s *routing.Static, t *routing.Tree, n int) {
 		wk.childList[cur[p]] = i
 		cur[p]++
 	}
+}
+
+// deltaAt returns the change in candidate c's utility contribution
+// between base tree `base` and projected tree `proj` (which differ
+// exactly at the parent moves in `moved`), without recomputing either
+// side's accumulation. The traffic whose routing changed partitions by
+// nearest moved ancestor: every node x in proj-subtree(m) with no moved
+// node strictly between x and m shares m's chain above m, and its chain
+// below m is identical in both trees — so the whole group's
+// contribution toggles together, decided by whether m's parent chain
+// passes through c (entering over a customer edge, for the incoming
+// model) in each tree. Groups whose status matches in both trees are
+// skipped without even collecting their weight, so the cost is a couple
+// of ancestor walks per moved node plus the subtree weights of the
+// groups that actually switched — typically orders of magnitude below
+// the full-subtree accumulation accumulateAt performs (kept as the
+// differential-test reference; see TestQuickDeltaAtMatchesAccumulate).
+// The returned float is a different (shorter) summation than
+// projC-baseC, so it may differ from it by rounding ulps — all Result
+// invariants tolerate or are independent of that (decisions are
+// epsilon-guarded, and every cache/dist bit-identity contract compares
+// runs of this same computation).
+func (wk *worker) deltaAt(model UtilityModel, s *routing.Static, base, proj *routing.Tree, weights []float64, c int32, moved []int32) float64 {
+	if model == Outgoing {
+		if s.Type[c] != routing.CustomerRoute {
+			return 0
+		}
+	} else if s.Type[c] == routing.NoRoute {
+		return 0
+	}
+	movedMark := wk.movedMark
+	for _, m := range moved {
+		movedMark[m] = true
+	}
+	var v float64
+	for _, m := range moved {
+		pb := chainEnters(model, s, base, c, m)
+		pp := chainEnters(model, s, proj, c, m)
+		if pb == pp {
+			continue
+		}
+		g := weights[m]
+		stack := append(wk.subList[:0], m)
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, r := range wk.childList[wk.childOff[q]:wk.childOff[q+1]] {
+				if !movedMark[r] {
+					g += weights[r]
+					stack = append(stack, r)
+				}
+			}
+		}
+		wk.subList = stack
+		if pp {
+			v += g
+		} else {
+			v -= g
+		}
+	}
+	for _, m := range moved {
+		movedMark[m] = false
+	}
+	return v
+}
+
+// chainEnters reports whether node m's traffic counts toward candidate
+// c's contribution in tree t: m's parent chain must pass through c and,
+// under the incoming model, enter c over one of c's customer edges (the
+// chain node below c routes provider-class).
+func chainEnters(model UtilityModel, s *routing.Static, t *routing.Tree, c, m int32) bool {
+	prev := m
+	for p := t.Parent[m]; p >= 0; p = t.Parent[p] {
+		if p == c {
+			return model == Outgoing || s.Type[prev] == routing.ProviderRoute
+		}
+		prev = p
+	}
+	return false
 }
 
 // accumulateAt returns candidate c's utility contribution over the

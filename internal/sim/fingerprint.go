@@ -44,6 +44,10 @@ import (
 //     the same logical shard count is bit-identical to the in-process
 //     engine (see internal/dist's differential tests), and any other
 //     shard count falls under the Workers argument above.
+//   - NoProjectionBatch: a performance knob. The batched predictor only
+//     skips projections whose delta is exactly zero (see
+//     TestQuickFlipPrediction), so disabling it recomputes the same
+//     bits the long way (see TestNoProjectionBatchResultInvariant).
 func (c Config) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("sim-v1|")

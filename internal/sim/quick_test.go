@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -112,6 +113,72 @@ func TestQuickEarlyAdoptersStaySecure(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeltaAtMatchesAccumulate: the incremental group-delta
+// (deltaAt) must agree with the reference full-subtree accumulation
+// (accumulateAt on the projected tree minus the base contribution) for
+// every destination, candidate flip set and model — up to summation
+// rounding, since deltaAt deliberately re-associates the float sums.
+func TestQuickDeltaAtMatchesAccumulate(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := asgraphtest.Random(rng, 5+rng.Intn(16), 0.15, 0.1, 0.25)
+		n := g.N()
+		sec, brk := asgraphtest.RandomState(rng, n, 0.5, 0.7)
+		tb := routing.HashTiebreaker{Seed: uint64(seed)}
+		wk := newWorker(g, n)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = g.Weight(int32(i))
+		}
+		model := UtilityModel(rng.Intn(2))
+		flipped := make([]bool, n)
+		var base routing.Tree
+		for d := int32(0); d < int32(n); d++ {
+			stc := wk.ws.PrepareDest(d, tb)
+			base.Clear(n)
+			wk.ws.ResolveInto(&base, stc, sec, brk, nil, nil, tb)
+			wk.ws.PrepareDelta(stc)
+			accumulate(stc, &base, weights, wk.accBase, wk.incBase)
+			wk.buildChildIndex(stc, &base, n)
+			wk.projTree.CopyFrom(&base)
+			for _, c := range stc.Order() {
+				// Flip c plus occasionally a couple of extra nodes, the
+				// multi-flip shape ProjectStubUpgrades produces.
+				flipList := []int32{c}
+				for len(flipList) < 3 && rng.Float64() < 0.2 {
+					x := int32(rng.Intn(n))
+					if x != d && x != c && !flipped[x] && stc.Pos(x) >= 0 {
+						flipList = append(flipList, x)
+					}
+				}
+				for _, f := range flipList {
+					flipped[f] = true
+				}
+				changed, _ := wk.ws.ApplyFlips(&wk.projTree, stc, sec, brk, flipped, nil, flipList, tb)
+				if changed {
+					wk.movedBuf = wk.ws.ParentMoves(&wk.projTree, wk.movedBuf[:0])
+					got := wk.deltaAt(model, stc, &base, &wk.projTree, weights, c, wk.movedBuf)
+					projC := wk.accumulateAt(model, stc, &wk.projTree, weights, c, wk.movedBuf)
+					want := projC - wk.contribution(model, stc, wk.accBase, wk.incBase, weights, c)
+					if math.Abs(got-want) > 1e-9 {
+						t.Logf("seed %d dest %d cand %d flips %v model %v: deltaAt %v != reference %v",
+							seed, d, c, flipList, model, got, want)
+						return false
+					}
+				}
+				wk.ws.RevertFlips(&wk.projTree)
+				for _, f := range flipList {
+					flipped[f] = false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
 }

@@ -34,6 +34,15 @@ type ShardEngine struct {
 	allIdx   []int          // cached [0..len(pool)) index list
 	partials []ShardPartial // reused output buffer
 
+	// retired holds the workers of shards migrated away (RemoveShards),
+	// keyed by shard id. A shard that later returns to this engine
+	// re-adopts its old worker, so the static-cache layer — which is
+	// state-independent and therefore still valid — comes back warm; the
+	// dynamic records are purged on re-adoption because they correspond
+	// to the deployment state at retirement, which dynPrev has since
+	// moved past.
+	retired map[int]*worker
+
 	// Cross-round dynamic-cache state (see dyncache.go). dynPrev is the
 	// deployment state every record's tree currently corresponds to;
 	// each ComputeRound diffs it against the incoming state to derive
@@ -116,9 +125,13 @@ func (e *ShardEngine) TotalShards() int { return e.total }
 func (e *ShardEngine) Shards() []int { return e.shards }
 
 // AddShards extends the engine with additional shard ids (a distributed
-// worker adopting the shards of a dead peer). The new shards start
-// cold: their caches are empty, so their first round recomputes from
-// scratch — bit-identically, since cache state never changes results.
+// worker adopting the shards of a dead peer, or a rebalancing migration
+// landing). A shard never owned here starts cold: its caches are empty,
+// so its first round recomputes from scratch — bit-identically, since
+// cache state never changes results. A shard this engine owned before
+// (RemoveShards) re-adopts its retired worker: statics return warm,
+// dynamic records are purged (they froze at the retirement-time state
+// and advancing them by the current round's flip diff would be wrong).
 func (e *ShardEngine) AddShards(ids []int) error {
 	for _, s := range ids {
 		if s < 0 || s >= e.total {
@@ -129,14 +142,20 @@ func (e *ShardEngine) AddShards(ids []int) error {
 				return fmt.Errorf("sim: shard %d already owned", s)
 			}
 		}
-		wk := newWorker(e.g, e.g.N())
-		if e.cfg.SharedStatics != nil {
-			wk.shared = e.cfg.SharedStatics
-		} else if e.staticBudget > 0 {
-			wk.cache = routing.NewStaticCache(e.staticBudget)
-		}
-		if e.dynBudget > 0 {
-			wk.dyn = newDynCache(e.dynBudget)
+		wk := e.retired[s]
+		if wk != nil {
+			delete(e.retired, s)
+			wk.dyn.purge()
+		} else {
+			wk = newWorker(e.g, e.g.N())
+			if e.cfg.SharedStatics != nil {
+				wk.shared = e.cfg.SharedStatics
+			} else if e.staticBudget > 0 {
+				wk.cache = routing.NewStaticCache(e.staticBudget)
+			}
+			if e.dynBudget > 0 {
+				wk.dyn = newDynCache(e.dynBudget)
+			}
 		}
 		e.shards = append(e.shards, s)
 		e.pool = append(e.pool, wk)
@@ -145,6 +164,34 @@ func (e *ShardEngine) AddShards(ids []int) error {
 	// Keep shard order ascending so partials come out sorted; the pool
 	// stays parallel to the shard list.
 	sort.Sort(&shardOrder{e})
+	return nil
+}
+
+// RemoveShards relinquishes ownership of the given shard ids (a
+// rebalancing migration moving them to another worker process). The
+// shards' workers are parked in the retired pool so a later AddShards
+// of the same shard resumes with a warm static cache. Unknown ids are
+// an error.
+func (e *ShardEngine) RemoveShards(ids []int) error {
+	for _, s := range ids {
+		found := -1
+		for i, have := range e.shards {
+			if have == s {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("sim: shard %d not owned", s)
+		}
+		if e.retired == nil {
+			e.retired = make(map[int]*worker)
+		}
+		e.retired[s] = e.pool[found]
+		e.shards = append(e.shards[:found], e.shards[found+1:]...)
+		e.pool = append(e.pool[:found], e.pool[found+1:]...)
+		e.wall = append(e.wall[:found], e.wall[found+1:]...)
+	}
 	return nil
 }
 

@@ -43,6 +43,38 @@ func BenchmarkComputeStatic(b *testing.B) {
 	}
 }
 
+// BenchmarkComputeStatic2500 measures a full cold static sweep — one
+// three-stage BFS per destination, every destination once — at N=2500.
+// This is the workload the O(reachable + edges) ComputeStatic rewrite
+// targets: the sweep is what a simulation's pristine pass pays before
+// any cache can help, and per-destination cost must track the reachable
+// set, not N.
+func BenchmarkComputeStatic2500(b *testing.B) {
+	benchStaticSweep(b, 2500)
+}
+
+// BenchmarkComputeStaticPaper is the same sweep at the paper's
+// N=36,964 (its Cyclops AS-graph snapshot). Skipped under -short.
+func BenchmarkComputeStaticPaper(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale sweep skipped in short mode")
+	}
+	benchStaticSweep(b, 36964)
+}
+
+func benchStaticSweep(b *testing.B, n int) {
+	b.Helper()
+	g := benchGraph(b, n)
+	w := routing.NewWorkspace(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := int32(0); d < int32(g.N()); d++ {
+			w.ComputeStatic(d)
+		}
+	}
+}
+
 // BenchmarkResolve measures one pass of the fast routing tree algorithm
 // (Appendix C.2) against precomputed static info.
 func BenchmarkResolve(b *testing.B) {

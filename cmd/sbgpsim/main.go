@@ -61,6 +61,7 @@ func run() int {
 		workers     = flag.Int("workers", 0, "logical shard count (0 = GOMAXPROCS; pin for cross-machine reproducibility)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		staticCache = flag.Int64("static-cache", 0, "static routing cache budget in bytes (0 = default, negative = disable)")
+		prefetch    = flag.Int("prefetch", 0, "static prefetch pipeline depth per shard (0 = off; bit-identical results)")
 		dynCache    = flag.Int64("dyn-cache", 0, "dynamic contribution cache budget in bytes (0 = default, negative = disable)")
 		stats       = flag.Bool("stats", false, "print per-round engine statistics")
 		memStats    = flag.Bool("memstats", false, "sample per-round heap allocation (stop-the-world; implies nothing without -stats)")
@@ -147,6 +148,7 @@ func run() int {
 		MaxRounds:           *maxRounds,
 		StaticCacheBytes:    *staticCache,
 		DynamicCacheBytes:   *dynCache,
+		StaticPrefetch:      *prefetch,
 		RecordStats:         *stats,
 		RecordMemStats:      *memStats,
 		RecordUtilities:     *resultJSON != "",

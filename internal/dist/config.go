@@ -9,7 +9,8 @@ import (
 
 // Config wire codec. A worker's ShardEngine reads exactly these Config
 // fields: Model, StubsBreakTies, ProjectStubUpgrades, NoProjectionBatch,
-// Tiebreaker, and the two cache budgets — so exactly these travel. Decision-side
+// Tiebreaker, the two cache budgets and the static prefetch depth — so
+// exactly these travel. Decision-side
 // fields (Theta*, EarlyAdopters, MaxRounds) stay with the coordinator,
 // which is the only party applying update rule (3); Workers is
 // superseded by the explicit shard assignment in the hello frame; and
@@ -18,7 +19,7 @@ import (
 // must be added here, or distributed runs would silently diverge —
 // which the differential tests in dist_test.go exist to catch.
 
-const configWireVersion = 2
+const configWireVersion = 3
 
 // encodeConfig renders the engine-relevant Config fields.
 func encodeConfig(cfg sim.Config) ([]byte, error) {
@@ -46,6 +47,7 @@ func encodeConfig(cfg sim.Config) ([]byte, error) {
 	e.u8(flags)
 	e.i64(cfg.StaticCacheBytes)
 	e.i64(cfg.DynamicCacheBytes)
+	e.i64(int64(cfg.StaticPrefetch))
 	e.bytes(tbw)
 	return e.b, nil
 }
@@ -64,6 +66,7 @@ func decodeConfig(p []byte) (sim.Config, error) {
 	cfg.NoProjectionBatch = flags&4 != 0
 	cfg.StaticCacheBytes = d.i64()
 	cfg.DynamicCacheBytes = d.i64()
+	cfg.StaticPrefetch = int(d.i64())
 	tbw := d.bytes()
 	if err := d.done(); err != nil {
 		return cfg, err

@@ -484,7 +484,7 @@ func decodeRecompute(p []byte, into *recomputeMsg) error {
 }
 
 // statsWireFields is the fixed field count of a ShardStats block.
-const statsWireFields = 20
+const statsWireFields = 22
 
 func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.WallNS)
@@ -507,6 +507,8 @@ func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.DynCacheBytes)
 	e.i64(s.DynCacheEntries)
 	e.i64(s.DynCacheEvictions)
+	e.i64(s.PrefetchHits)
+	e.i64(s.PrefetchWasted)
 }
 
 func decodeStats(d *dec, s *sim.ShardStats) {
@@ -530,6 +532,8 @@ func decodeStats(d *dec, s *sim.ShardStats) {
 	s.DynCacheBytes = d.i64()
 	s.DynCacheEntries = d.i64()
 	s.DynCacheEvictions = d.i64()
+	s.PrefetchHits = d.i64()
+	s.PrefetchWasted = d.i64()
 }
 
 // partialsMsg returns one or more logical shards' partial sums for a

@@ -47,6 +47,10 @@ type Options struct {
 	// convention: 0 default, positive cap, negative off. Performance
 	// knob only — results are bit-identical for every setting.
 	DynamicCacheBytes int64
+	// StaticPrefetch sets each simulation's per-shard static prefetch
+	// pipeline depth (sim.Config.StaticPrefetch; 0 = off). Performance
+	// knob only — results are bit-identical for every depth.
+	StaticPrefetch int
 	// DistWorkers, when positive, runs every simulation over that many
 	// fork-exec'd local worker processes (see internal/dist and
 	// Store.DistWorkers). Placement knob only — bit-identical results.
@@ -92,6 +96,7 @@ func (o Options) withDefaults() Options {
 		o.store, _ = NewStore("", o.Workers)
 		o.store.StaticCacheBytes = o.StaticCacheBytes
 		o.store.DynamicCacheBytes = o.DynamicCacheBytes
+		o.store.StaticPrefetch = o.StaticPrefetch
 		o.store.DistWorkers = o.DistWorkers
 		o.store.Rebalance = o.Rebalance
 	}

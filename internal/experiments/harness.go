@@ -125,6 +125,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 	}
 	store.StaticCacheBytes = opt.StaticCacheBytes
 	store.DynamicCacheBytes = opt.DynamicCacheBytes
+	store.StaticPrefetch = opt.StaticPrefetch
 	store.DistWorkers = opt.DistWorkers
 	store.Rebalance = opt.Rebalance
 	opt.store = store

@@ -48,6 +48,11 @@ type Store struct {
 	// contribution cache (sim.Config.DynamicCacheBytes) — also excluded
 	// from Config.Fingerprint, also bit-identical at any setting.
 	DynamicCacheBytes int64
+	// StaticPrefetch sets the per-shard static prefetch pipeline depth
+	// (sim.Config.StaticPrefetch) of every simulation executed through
+	// the store; 0 leaves prefetching off. Also excluded from
+	// Config.Fingerprint, also bit-identical at any depth.
+	StaticPrefetch int
 	// DistWorkers, when positive, executes every simulation over that
 	// many fork-exec'd local worker processes (internal/dist) instead of
 	// in-process goroutines. The process binary must call
@@ -264,6 +269,9 @@ func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, erro
 	}
 	if s.DynamicCacheBytes != 0 {
 		cfg.DynamicCacheBytes = s.DynamicCacheBytes
+	}
+	if s.StaticPrefetch > 0 {
+		cfg.StaticPrefetch = s.StaticPrefetch
 	}
 	// Serve statics from a per-graph shared store unless static caching
 	// is disabled outright (negative budget).

@@ -56,8 +56,8 @@ func (w *Workspace) PrepareDelta(s *Static) {
 	}
 	s.revAdj = s.revAdj[:len(s.tbAdj)]
 	copy(w.revCur, s.revOff[:n])
-	for _, i := range s.order {
-		for _, b := range s.Tiebreak(i) {
+	for k, i := range s.order {
+		for _, b := range s.tbAdj[s.tbOff[k]:s.tbOff[k+1]] {
 			s.revAdj[w.revCur[b]] = i
 			w.revCur[b]++
 		}
@@ -140,7 +140,8 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		b := bits.TrailingZeros64(pend[word])
 		pend[word] &^= 1 << uint(b)
 		pending--
-		i := s.order[word<<6|b]
+		k := word<<6 | b
+		i := s.order[k]
 		touched++
 		w.touched = append(w.touched, i)
 		// Singleton tiebreak sets (the overwhelming majority, paper
@@ -149,7 +150,7 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 		// call — and its candidate scan — is short-circuited.
 		var p int32
 		var sec, ok bool
-		if o := s.tbOff[i]; s.tbOff[i+1]-o == 1 {
+		if o := s.tbOff[k]; s.tbOff[k+1]-o == 1 {
 			p = s.tbAdj[o]
 			iSec := secure[i]
 			if flipped != nil && flipped[i] {
@@ -157,7 +158,7 @@ func (w *Workspace) ApplyFlips(t *Tree, s *Static, secure, breaks []bool, flippe
 			}
 			sec, ok = iSec && t.Secure[p], true
 		} else {
-			p, sec, ok = decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+			p, sec, ok = decideNode(t, s, s.tbAdj[o:s.tbOff[k+1]], secure, breaks, flipped, flipBreaks, tb, i)
 		}
 		if !ok || (p == t.Parent[i] && sec == t.Secure[i]) {
 			continue

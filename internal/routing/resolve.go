@@ -23,10 +23,11 @@ func (t *Tree) Clear(n int) {
 		t.Parent = make([]int32, n)
 		t.Secure = make([]bool, n)
 	}
-	for i := 0; i < n; i++ {
-		t.Parent[i] = -1
-		t.Secure[i] = false
+	p := t.Parent[:n]
+	for i := range p {
+		p[i] = -1
 	}
+	clear(t.Secure[:n])
 }
 
 // CopyFrom makes t an entry-for-entry copy of src, allocating only if t
@@ -110,42 +111,53 @@ func (w *Workspace) materialize(st SecureState) {
 // deviate from the plain-TB winner. The decision procedure is the same
 // decideNode either way, so the resulting tree is bit-identical to the
 // generic path's.
+//
+// The fast path is self-sufficient: the winner copy covers every Parent
+// entry and the Secure flags are cleared here, so a caller switching
+// destinations on it needs no Tree.Clear first (Static.HasWinners
+// reports whether a given resolution takes it). The generic path keeps
+// the Clear-once-per-destination contract above.
 func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker) {
 	t.Dest = s.Dest
-	if len(t.Parent) < w.g.N() {
-		t.Clear(w.g.N())
+	n := w.g.N()
+	if len(t.Parent) < n {
+		t.Clear(n)
 	}
 	dSec := secure[s.Dest]
 	if flipped != nil && flipped[s.Dest] {
 		dSec = !dSec
 	}
-	t.Parent[s.Dest] = -1
-	t.Secure[s.Dest] = dSec
 
 	if flipped == nil && s.win != nil {
-		copy(t.Parent, s.win)
+		copy(t.Parent[:n], s.win[:n])
 		t.Parent[s.Dest] = -1
-		win, sec := s.win, t.Secure
-		for _, i := range s.order {
+		sec := t.Secure[:n]
+		clear(sec)
+		sec[s.Dest] = dSec
+		win := s.win
+		for k, i := range s.order {
+			// Insecure nodes keep the cleared flag — no store needed.
 			if !secure[i] {
-				sec[i] = false
 				continue
 			}
 			// A non-SecP node keeps its winner with the flag mirroring
 			// it; so does a SecP node with a singleton tiebreak set (the
 			// overwhelming majority) — one candidate admits no choice, and
 			// decideNode would return exactly (win[i], sec[win[i]]).
-			if !breaks[i] || s.tbOff[i+1]-s.tbOff[i] == 1 {
+			if !breaks[i] || s.tbOff[k+1]-s.tbOff[k] == 1 {
 				sec[i] = sec[win[i]]
 				continue
 			}
-			if p, sc, ok := decideNode(t, s, secure, breaks, nil, nil, tb, i); ok {
+			cands := s.tbAdj[s.tbOff[k]:s.tbOff[k+1]]
+			if p, sc, ok := decideNode(t, s, cands, secure, breaks, nil, nil, tb, i); ok {
 				t.Parent[i] = p
 				sec[i] = sc
 			}
 		}
 		return
 	}
+	t.Parent[s.Dest] = -1
+	t.Secure[s.Dest] = dSec
 	w.resolveRange(t, nil, s, secure, breaks, flipped, flipBreaks, tb, 0)
 }
 
@@ -211,7 +223,8 @@ func (w *Workspace) resolveRange(t, base *Tree, s *Static, secure, breaks []bool
 	order := s.order
 	for k := from; k < len(order); k++ {
 		i := order[k]
-		p, sec, ok := decideNode(t, s, secure, breaks, flipped, flipBreaks, tb, i)
+		cands := s.tbAdj[s.tbOff[k]:s.tbOff[k+1]]
+		p, sec, ok := decideNode(t, s, cands, secure, breaks, flipped, flipBreaks, tb, i)
 		if !ok {
 			continue
 		}
@@ -225,15 +238,17 @@ func (w *Workspace) resolveRange(t, base *Tree, s *Static, secure, breaks []bool
 }
 
 // decideNode runs the SecP and TB selection steps for node i against a
-// tree whose entries for all strictly-shorter nodes are final. It is the
-// single decision procedure shared by resolveRange (full and suffix
-// resolution) and ApplyFlips (change propagation), which is what makes
-// the incremental strategies bit-identical to a full resolution by
-// construction. ok is false for nodes with an empty tiebreak set
-// (defensive: static construction guarantees non-empty sets for
-// reachable non-destination nodes).
-func decideNode(t *Tree, s *Static, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker, i int32) (parent int32, sec, ok bool) {
-	cands := s.tbAdj[s.tbOff[i]:s.tbOff[i+1]]
+// tree whose entries for all strictly-shorter nodes are final. cands
+// must be node i's tiebreak set (the CSR is position-indexed, and every
+// caller already knows i's order position, so the row is passed in
+// rather than re-located through pos). It is the single decision
+// procedure shared by resolveRange (full and suffix resolution) and
+// ApplyFlips (change propagation), which is what makes the incremental
+// strategies bit-identical to a full resolution by construction. ok is
+// false for nodes with an empty tiebreak set (defensive: static
+// construction guarantees non-empty sets for reachable non-destination
+// nodes).
+func decideNode(t *Tree, s *Static, cands []int32, secure, breaks []bool, flipped, flipBreaks []bool, tb Tiebreaker, i int32) (parent int32, sec, ok bool) {
 	if len(cands) == 0 {
 		return -1, false, false
 	}

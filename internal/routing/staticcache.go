@@ -34,10 +34,10 @@ func (s *Static) MemBytes() int64 {
 	t := int64(len(s.tbAdj))
 	const sliceOverhead = 9 * 24 // slice headers in Static plus map/struct slack
 	b := int64(0)
-	b += n           // Type
-	b += 4 * n       // Len
-	b += 4 * (n + 1) // tbOff
-	b += 4 * t       // tbAdj
+	b += n                             // Type
+	b += 4 * n                         // Len
+	b += 4 * (int64(len(s.order)) + 1) // tbOff (position-indexed: one row per order entry)
+	b += 4 * t                         // tbAdj
 	b += 4 * int64(len(s.order))
 	b += 4 * n                   // pos
 	b += 4 * n                   // win (snapshots always carry winners)
@@ -142,6 +142,25 @@ func (c *StaticCache) Add(s *Static) *Static {
 	c.entries[s.Dest] = snap
 	c.bytes += sz
 	return snap
+}
+
+// AddOwned admits s itself — which must already be a self-contained
+// Snapshot the caller relinquishes — without the deep copy Add performs.
+// This is the admission path for prefetched snapshots, which arrive
+// already copied out of the prefetch workspace. Returns s when admitted,
+// nil when the budget is exhausted (the caller may still use s).
+func (c *StaticCache) AddOwned(s *Static) *Static {
+	if c == nil {
+		return nil
+	}
+	sz := s.MemBytes()
+	if c.bytes+sz > c.budget {
+		c.full = true
+		return nil
+	}
+	c.entries[s.Dest] = s
+	c.bytes += sz
+	return s
 }
 
 // Bytes returns the accounted size of all admitted snapshots.

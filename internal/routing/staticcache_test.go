@@ -196,8 +196,8 @@ func TestSnapshotMemBytes(t *testing.T) {
 	if before != after {
 		t.Errorf("MemBytes changed after lazy materialization: %d -> %d (must be accounted up front)", before, after)
 	}
-	n, tbs := int64(len(s.Type)), int64(len(s.tbAdj))
-	floor := n + 4*n + 4*(n+1) + 4*tbs + 4*int64(len(s.order)) + 4*n + 4*n +
+	n, tbs, ord := int64(len(s.Type)), int64(len(s.tbAdj)), int64(len(s.order))
+	floor := n + 4*n + 4*(ord+1) + 4*tbs + 4*ord + 4*n + 4*n +
 		4*(n+1) + 4*int64(len(s.revAdj)) + 4*int64(len(s.provParents))
 	if before < floor {
 		t.Errorf("MemBytes = %d below materialized footprint %d", before, floor)

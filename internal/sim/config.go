@@ -145,6 +145,22 @@ type Config struct {
 	// from Fingerprint.
 	DynamicCacheBytes int64
 
+	// StaticPrefetch sets the depth of the per-shard static prefetch
+	// pipeline: while a shard's worker computes utilities for one
+	// destination, a pipeline goroutine runs PrepareDest for up to this
+	// many upcoming destinations of the shard's stripe, so cold static
+	// misses are overlapped with utility computation instead of
+	// serialized behind it. 0 (the default) or negative disables
+	// prefetching. Snapshots are handed to the shard's own cache layer by
+	// the shard's own worker in stripe order, and statics depend only on
+	// (graph, destination, tiebreaker) — never on the deployment state —
+	// so prefetched bytes are identical to inline computation.
+	//
+	// Purely a performance knob: every Result is bit-equal at any depth
+	// (see TestPrefetchResultInvariant), so the field is excluded from
+	// Fingerprint.
+	StaticPrefetch int
+
 	// SharedStatics, when non-nil, serves destination statics from a
 	// graph-level store shared across simulations instead of private
 	// per-worker caches (StaticCacheBytes is then ignored — the store

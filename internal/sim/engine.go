@@ -419,6 +419,8 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		stats.DynCacheBytes = sum.DynCacheBytes
 		stats.DynCacheEntries = int(sum.DynCacheEntries)
 		stats.DynCacheEvictions = sum.DynCacheEvictions
+		stats.PrefetchHits = sum.PrefetchHits
+		stats.PrefetchWasted = sum.PrefetchWasted
 		stats.ShardWallMax, stats.ShardWallMin, stats.StragglerRatio = shardTiming(partials)
 		// A graph-level shared static store is not owned by any shard;
 		// count it once on top of the per-shard private caches (which
@@ -498,6 +500,7 @@ type worker struct {
 	ws          *routing.Workspace
 	cache       *routing.StaticCache       // per-worker static snapshots; nil = disabled
 	shared      *routing.SharedStaticCache // graph-level store; replaces cache when set
+	pf          *prefetcher                // static prefetch pipeline; nil = disabled
 	dyn         *dynCache                  // per-worker contribution records; nil = disabled
 	isps        []int32                    // shared class index list (asgraph.Graph.ISPs)
 	baseTree    routing.Tree
@@ -542,6 +545,8 @@ type workerStats struct {
 	nodesRecomputed  int64
 	dynClean         int64
 	dynDirty         int64
+	prefetchHits     int64
+	prefetchWasted   int64
 }
 
 func newWorker(g *asgraph.Graph, n int) *worker {
@@ -595,8 +600,26 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 	}
 	if stc != nil {
 		wk.stats.staticHits++
+		if wk.pf != nil && wk.pf.discard(d) {
+			// The pipeline computed a destination the cache ended up
+			// serving anyway (a shared store fed by a concurrent worker).
+			wk.stats.prefetchWasted++
+		}
 	} else {
-		stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
+		// On a miss, prefer the prefetch pipeline's ready-made snapshot
+		// over running the three-stage BFS inline — same bytes either way
+		// (statics depend only on graph and destination), admitted under
+		// the same budget rules by this same consumer.
+		var pre *routing.Static
+		if wk.pf != nil {
+			pre = wk.pf.take(d)
+		}
+		if pre != nil {
+			wk.stats.prefetchHits++
+			stc = pre
+		} else {
+			stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
+		}
 		switch {
 		case wk.shared != nil:
 			wk.stats.staticMisses++
@@ -605,7 +628,10 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			}
 		case wk.cache != nil:
 			wk.stats.staticMisses++
-			if snap := wk.cache.Add(stc); snap != nil {
+			if pre != nil {
+				// Already a self-contained snapshot: admit it as-is.
+				wk.cache.AddOwned(stc)
+			} else if snap := wk.cache.Add(stc); snap != nil {
 				stc = snap
 			}
 		}
@@ -678,7 +704,12 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 	}
 
 	if !treeCurrent {
-		tree.Clear(n)
+		// ResolveInto's winner fast path covers every tree entry itself;
+		// only winner-less statics need the pre-clear (defensive — every
+		// static here comes from PrepareDest or a snapshot of one).
+		if !stc.HasWinners() {
+			tree.Clear(n)
+		}
 		wk.ws.ResolveInto(tree, stc, st.secure, st.breaks, nil, nil, cfg.Tiebreaker)
 		wk.stats.baseResolutions++
 	}

@@ -59,6 +59,8 @@ type ShardStats struct {
 	DynCacheBytes      int64
 	DynCacheEntries    int64
 	DynCacheEvictions  int64
+	PrefetchHits       int64
+	PrefetchWasted     int64
 }
 
 // add accumulates o into s. WallNS is summed too; callers wanting
@@ -84,6 +86,8 @@ func (s *ShardStats) add(o *ShardStats) {
 	s.DynCacheBytes += o.DynCacheBytes
 	s.DynCacheEntries += o.DynCacheEntries
 	s.DynCacheEvictions += o.DynCacheEvictions
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchWasted += o.PrefetchWasted
 }
 
 // ExecInfo reports executor-level events of one round that are not

@@ -40,6 +40,10 @@ import (
 //   - SharedStatics: likewise — a shared graph-level snapshot is the
 //     same bits a private cache or cold computation produces (see
 //     TestSharedStaticsResultInvariant).
+//   - StaticPrefetch: likewise — a prefetched snapshot is the same
+//     bytes the worker's own PrepareDest would produce, admitted by the
+//     same consumer in the same stripe order (see
+//     TestPrefetchResultInvariant), so no depth can change any Result.
 //   - Executor: execution placement only. A distributed executor with
 //     the same logical shard count is bit-identical to the in-process
 //     engine (see internal/dist's differential tests), and any other

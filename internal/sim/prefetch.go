@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+)
+
+// Static prefetching overlaps the cold static path with utility
+// computation. A destination's static routing information depends only
+// on (graph, destination, tiebreaker) — never on the deployment state
+// (Observation C.1) — so while a shard's worker computes round
+// utilities for destination d, a pipeline goroutine can already run
+// PrepareDest for the next destinations in the shard's stripe and hand
+// over finished snapshots. The handover is pure plumbing: the snapshot
+// bytes are exactly what the worker's own PrepareDest would produce, it
+// is admitted to the same cache by the same consumer in the same stripe
+// order, and resolution only ever reads a Static — so results stay
+// byte-identical with prefetching on or off, at any depth.
+//
+// The pipeline is a bounded SPSC pair per shard: the worker goroutine
+// is the only sender on req and the only receiver on res, the prefetch
+// goroutine the reverse, and both channels are buffered to the depth —
+// topUp never sends more than depth unanswered requests, so neither
+// side can block the other beyond the intended pipelining. Results
+// arrive in request order (one goroutine serves req sequentially),
+// which is what lets take pop the request queue in lockstep with res.
+type prefetcher struct {
+	depth int
+	ws    *routing.Workspace // goroutine-private; never touched by the consumer
+	tb    routing.Tiebreaker
+
+	req      chan int32           // this round's requested destinations
+	res      chan *routing.Static // finished snapshots, in request order
+	reqQ     []int32              // in-flight destinations, oldest first
+	inflight int
+
+	// pending holds snapshots computed but not yet consumed. It persists
+	// across rounds — statics are state-independent, so a snapshot parked
+	// at round end (stop drains the pipeline) serves the same destination
+	// on any later round, including after a shard migration re-adopts the
+	// worker (AddShards).
+	pending map[int32]*routing.Static
+
+	// next is the stripe cursor: the next destination topUp will
+	// consider. Reset to the shard id each round.
+	next int32
+}
+
+// newPrefetcher returns a prefetcher computing up to depth destinations
+// ahead on its own workspace.
+func newPrefetcher(g *asgraph.Graph, depth int, tb routing.Tiebreaker) *prefetcher {
+	return &prefetcher{
+		depth:   depth,
+		ws:      routing.NewWorkspace(g),
+		tb:      tb,
+		pending: make(map[int32]*routing.Static),
+	}
+}
+
+// start spawns this round's pipeline goroutine and rewinds the stripe
+// cursor. Channels are per-round: stop closes req to terminate the
+// goroutine, so a fresh pair is needed each round. The workspace is
+// safely reused across rounds — stop returns only after every requested
+// computation finished (it receives all in-flight results, and the
+// goroutine's final send on res happens after its last workspace use).
+func (pf *prefetcher) start(shard int32) {
+	pf.req = make(chan int32, pf.depth)
+	pf.res = make(chan *routing.Static, pf.depth)
+	pf.next = shard
+	go func(req chan int32, res chan<- *routing.Static) {
+		for d := range req {
+			res <- pf.ws.PrepareDest(d, pf.tb).Snapshot()
+		}
+	}(pf.req, pf.res)
+}
+
+// stop terminates the round's pipeline goroutine and parks every
+// in-flight result in pending for later rounds.
+func (pf *prefetcher) stop() {
+	close(pf.req)
+	for pf.inflight > 0 {
+		s := <-pf.res
+		pf.inflight--
+		pf.pending[s.Dest] = s
+	}
+	pf.reqQ = pf.reqQ[:0]
+}
+
+// topUp advances the stripe cursor, requesting destinations that are
+// neither cached, pending, nor already in flight, until the pipeline
+// holds depth unanswered requests or the stripe is exhausted. Called by
+// the worker before each destination, so the pipeline refills as
+// results are consumed. Never blocks: at most depth requests are
+// outstanding and req is buffered to depth.
+func (pf *prefetcher) topUp(wk *worker, n, stride int) {
+	for pf.inflight < pf.depth && int(pf.next) < n {
+		d := pf.next
+		pf.next += int32(stride)
+		if _, ok := pf.pending[d]; ok {
+			continue
+		}
+		if wk.cache.Get(d) != nil || wk.shared.Get(d) != nil {
+			continue
+		}
+		pf.req <- d
+		pf.reqQ = append(pf.reqQ, d)
+		pf.inflight++
+	}
+}
+
+// take returns the prefetched snapshot for destination d, or nil if d
+// was never requested. A parked snapshot is returned immediately; an
+// in-flight one blocks on the pipeline — results arrive in request
+// order, so everything received before d's snapshot belongs to later
+// stripe positions and is parked in pending.
+func (pf *prefetcher) take(d int32) *routing.Static {
+	if s, ok := pf.pending[d]; ok {
+		delete(pf.pending, d)
+		return s
+	}
+	requested := false
+	for _, r := range pf.reqQ {
+		if r == d {
+			requested = true
+			break
+		}
+	}
+	if !requested {
+		return nil
+	}
+	for {
+		s := <-pf.res
+		pf.inflight--
+		pf.reqQ = pf.reqQ[1:]
+		if s.Dest == d {
+			return s
+		}
+		pf.pending[s.Dest] = s
+	}
+}
+
+// discard drops a parked snapshot for a destination the cache served
+// after all (a concurrent worker published it to a shared store between
+// topUp and processing). It reports whether a prefetched snapshot was
+// actually wasted.
+func (pf *prefetcher) discard(d int32) bool {
+	if _, ok := pf.pending[d]; ok {
+		delete(pf.pending, d)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+// TestPrefetchResultInvariant: the static prefetch pipeline is pure
+// plumbing — a prefetched snapshot holds exactly the bytes the worker's
+// own PrepareDest would produce (Observation C.1), admitted to the same
+// cache in the same stripe order — so Results are bit-identical with
+// prefetching on or off, at any depth, any worker count and any cache
+// budget. This is the invariant that lets Config.Fingerprint exclude
+// StaticPrefetch.
+func TestPrefetchResultInvariant(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 7))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+
+	// ~10 KB per snapshot at N=300: the tiny budget caches a handful of
+	// destinations, so most prefetched snapshots are consumed directly.
+	const tinyBudget = 40_000
+
+	for _, workers := range []int{1, 3, 5} {
+		base := Config{
+			Model:           Outgoing,
+			Theta:           0.05,
+			EarlyAdopters:   adopters,
+			StubsBreakTies:  true,
+			Workers:         workers,
+			RecordUtilities: true,
+			RecordStats:     true,
+		}
+		ref := MustNew(g, base).Run()
+
+		for _, budget := range []int64{0, -1, tinyBudget} {
+			for _, depth := range []int{1, 4} {
+				cfg := base
+				cfg.StaticCacheBytes = budget
+				cfg.StaticPrefetch = depth
+				got := MustNew(g, cfg).Run()
+				label := map[int64]string{0: "default", -1: "disabled", tinyBudget: "tiny"}[budget]
+				label = "workers=" + itoa(workers) + "/budget=" + label + "/depth=" + itoa(depth)
+				requireBitIdentical(t, label, ref, got)
+				if base.Fingerprint() != cfg.Fingerprint() {
+					t.Errorf("%s: StaticPrefetch changed the fingerprint", label)
+				}
+				// Under the default budget every destination is cached by
+				// the (unrecorded) pristine pass, so the recorded rounds
+				// legitimately show no pipeline activity — the cold-pass
+				// hits are asserted by TestPrefetchColdPass instead.
+				if budget != 0 {
+					var hits int64
+					for _, rd := range got.Rounds {
+						if rd.Stats != nil {
+							hits += rd.Stats.PrefetchHits
+						}
+					}
+					if hits == 0 {
+						t.Errorf("%s: prefetch pipeline never served a destination", label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+// TestPrefetchColdPass: on a cold engine every destination's static is
+// a miss, and with the pipeline running ahead of the consumer each one
+// must be served by a prefetched snapshot, not an inline BFS.
+func TestPrefetchColdPass(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 7))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+	cfg := Config{Theta: 0.05, EarlyAdopters: adopters, StaticPrefetch: 4}
+	eng, err := NewShardEngine(g, cfg, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := RoundState{Secure: make([]bool, g.N()), Breaks: make([]bool, g.N())}
+	for _, a := range adopters {
+		st.Secure[a] = true
+	}
+	var hits, misses int64
+	for _, p := range eng.ComputeRound(st, g.ISPs()) {
+		hits += p.Stats.PrefetchHits
+		misses += p.Stats.StaticMisses
+	}
+	if misses != int64(g.N()) {
+		t.Fatalf("cold round: %d static misses, want %d", misses, g.N())
+	}
+	if hits != int64(g.N()) {
+		t.Fatalf("cold round: %d prefetch hits, want all %d destinations pipelined", hits, g.N())
+	}
+}
+
+// TestPrefetchShardReassignment: the migration seam with prefetching
+// enabled — removing shards stops their pipelines, and re-adoption
+// adopts any parked snapshots (state-independent, so still valid) while
+// producing the same partials as an engine that never lost the shard.
+func TestPrefetchShardReassignment(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(200, 3))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+	cfg := Config{Theta: 0.05, EarlyAdopters: adopters, StaticPrefetch: 2}
+	st := RoundState{Secure: make([]bool, g.N()), Breaks: make([]bool, g.N())}
+	for _, a := range adopters {
+		st.Secure[a] = true
+	}
+	cands := g.ISPs()
+
+	ref, err := NewShardEngine(g, cfg, []int{0, 1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ComputeRound(st, cands)
+
+	eng, err := NewShardEngine(g, cfg, []int{0, 1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ComputeRound(st, cands)
+	if err := eng.RemoveShards([]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddShards([]int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.ComputeRound(st, cands)
+	if len(got) != len(want) {
+		t.Fatalf("%d partials, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Shard != want[i].Shard {
+			t.Fatalf("partial %d is shard %d, want %d", i, got[i].Shard, want[i].Shard)
+		}
+		if !utilsBitIdentical(got[i].UBase, want[i].UBase) || !utilsBitIdentical(got[i].UDelta, want[i].UDelta) {
+			t.Fatalf("shard %d partials differ after remove/re-add with prefetch", want[i].Shard)
+		}
+	}
+}

@@ -144,6 +144,10 @@ func (e *ShardEngine) AddShards(ids []int) error {
 		}
 		wk := e.retired[s]
 		if wk != nil {
+			// Re-adoption keeps the static layers warm — including the
+			// prefetcher's parked snapshots, which are state-independent
+			// and therefore still valid (adopt, don't purge). Only the
+			// dynamic records froze at a stale deployment state.
 			delete(e.retired, s)
 			wk.dyn.purge()
 		} else {
@@ -152,6 +156,9 @@ func (e *ShardEngine) AddShards(ids []int) error {
 				wk.shared = e.cfg.SharedStatics
 			} else if e.staticBudget > 0 {
 				wk.cache = routing.NewStaticCache(e.staticBudget)
+			}
+			if e.cfg.StaticPrefetch > 0 {
+				wk.pf = newPrefetcher(e.g, e.cfg.StaticPrefetch, e.cfg.Tiebreaker)
 			}
 			if e.dynBudget > 0 {
 				wk.dyn = newDynCache(e.dynBudget)
@@ -273,7 +280,17 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 			started := time.Now()
 			wk := e.pool[i]
 			wk.resetRound(n)
+			if wk.pf != nil {
+				// One pipeline goroutine per shard per round; stop drains
+				// it before the shard's partial is read, parking unconsumed
+				// snapshots for later rounds.
+				wk.pf.start(int32(e.shards[i]))
+				defer wk.pf.stop()
+			}
 			for d := int32(e.shards[i]); int(d) < n; d += int32(total) {
+				if wk.pf != nil {
+					wk.pf.topUp(wk, n, total)
+				}
 				wk.processDest(d, rc)
 			}
 			e.wall[i] = time.Since(started)
@@ -312,6 +329,8 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 				DynCacheBytes:      wk.dyn.bytesTotal(),
 				DynCacheEntries:    int64(wk.dyn.entryCount()),
 				DynCacheEvictions:  wk.dyn.evicted(),
+				PrefetchHits:       wk.stats.prefetchHits,
+				PrefetchWasted:     wk.stats.prefetchWasted,
 			},
 		}
 		out = append(out, p)

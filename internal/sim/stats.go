@@ -88,6 +88,14 @@ type RoundStats struct {
 	DynCacheBytes     int64
 	DynCacheEntries   int
 	DynCacheEvictions int64
+	// PrefetchHits counts destinations whose static snapshot was served
+	// by the per-shard prefetch pipeline (Config.StaticPrefetch) instead
+	// of an inline three-stage BFS; PrefetchWasted counts prefetched
+	// snapshots dropped unused (the cache ended up serving the
+	// destination anyway — a shared store fed by a concurrent worker).
+	// Both stay zero with prefetching disabled.
+	PrefetchHits   int64
+	PrefetchWasted int64
 	// ShardWallMax and ShardWallMin are the slowest and fastest logical
 	// shard's compute wall time this round, measured where the shard ran
 	// (on the worker process, in distributed mode — network and merge
@@ -141,6 +149,9 @@ func (st *RoundStats) String() string {
 		st.ProjUnchanged, reusedPct,
 		st.ShardWallMin.Round(time.Microsecond), st.ShardWallMax.Round(time.Microsecond), st.StragglerRatio,
 		st.AllocBytes)
+	if st.PrefetchHits > 0 || st.PrefetchWasted > 0 {
+		out += fmt.Sprintf(", prefetch %d hit (%d wasted)", st.PrefetchHits, st.PrefetchWasted)
+	}
 	if st.WorkersLost > 0 || st.ShardsReassigned > 0 {
 		out += fmt.Sprintf(", lost %d workers (%d shards reassigned)", st.WorkersLost, st.ShardsReassigned)
 	}

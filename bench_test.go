@@ -62,6 +62,33 @@ func BenchmarkComputeStaticPaper(b *testing.B) {
 	benchStaticSweep(b, 36964)
 }
 
+// BenchmarkDecodePacked2500 measures rehydrating one packed static
+// snapshot into a workspace — the per-Get cost a budget-bound cache
+// pays once snapshots live as arena blobs (DESIGN.md §5g). The
+// reported metrics pin the density win: packed vs in-memory bytes per
+// destination for the same N=2500 sweep.
+func BenchmarkDecodePacked2500(b *testing.B) {
+	g := benchGraph(b, 2500)
+	w := routing.NewWorkspace(g)
+	blobs := make([][]byte, g.N())
+	var packedBytes, memBytes int64
+	for d := int32(0); d < int32(g.N()); d++ {
+		s := w.PrepareDest(d, HashTiebreaker{})
+		blobs[d] = routing.AppendPacked(nil, s, g)
+		packedBytes += int64(len(blobs[d]))
+		memBytes += s.MemBytes()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.DecodePacked(blobs[i%len(blobs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(packedBytes)/float64(g.N()), "packedB/dest")
+	b.ReportMetric(float64(memBytes)/float64(g.N()), "unpackedB/dest")
+}
+
 func benchStaticSweep(b *testing.B, n int) {
 	b.Helper()
 	g := benchGraph(b, n)

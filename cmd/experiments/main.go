@@ -54,6 +54,7 @@ func run() int {
 		staticCache = flag.Int64("static-cache", 0, "per-simulation static routing cache budget in bytes (0 = engine default, negative = disable)")
 		dynCache    = flag.Int64("dyn-cache", 0, "per-simulation dynamic contribution cache budget in bytes (0 = engine default, negative = disable)")
 		prefetch    = flag.Int("prefetch", 0, "per-shard static prefetch pipeline depth (0 = off; bit-identical results)")
+		packedStat  = flag.Bool("packed-statics", true, "pack overflowing static caches 3-5x denser (bit-identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -91,7 +92,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch, NoPackedStatics: !*packedStat},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

@@ -73,6 +73,7 @@ func run() int {
 		rebalance   = flag.Bool("rebalance", false, "with -dist-workers/-dist-connect: migrate shards off straggling workers between rounds (bit-identical results)")
 		rebRatio    = flag.Float64("rebalance-ratio", 0, "load imbalance triggering a migration (0 = default 1.25)")
 		noBatchProj = flag.Bool("no-batch-proj", false, "disable the batched projection predictor (measurement knob; bit-identical results)")
+		packedStat  = flag.Bool("packed-statics", true, "pack overflowing static caches 3-5x denser (measurement knob; bit-identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -153,6 +154,7 @@ func run() int {
 		RecordMemStats:      *memStats,
 		RecordUtilities:     *resultJSON != "",
 		NoProjectionBatch:   *noBatchProj,
+		NoPackedStatics:     !*packedStat,
 	}
 	switch *model {
 	case "outgoing":

@@ -9,8 +9,8 @@ import (
 
 // Config wire codec. A worker's ShardEngine reads exactly these Config
 // fields: Model, StubsBreakTies, ProjectStubUpgrades, NoProjectionBatch,
-// Tiebreaker, the two cache budgets and the static prefetch depth — so
-// exactly these travel. Decision-side
+// NoPackedStatics, Tiebreaker, the two cache budgets and the static
+// prefetch depth — so exactly these travel. Decision-side
 // fields (Theta*, EarlyAdopters, MaxRounds) stay with the coordinator,
 // which is the only party applying update rule (3); Workers is
 // superseded by the explicit shard assignment in the hello frame; and
@@ -19,7 +19,7 @@ import (
 // must be added here, or distributed runs would silently diverge —
 // which the differential tests in dist_test.go exist to catch.
 
-const configWireVersion = 3
+const configWireVersion = 4
 
 // encodeConfig renders the engine-relevant Config fields.
 func encodeConfig(cfg sim.Config) ([]byte, error) {
@@ -44,6 +44,9 @@ func encodeConfig(cfg sim.Config) ([]byte, error) {
 	if cfg.NoProjectionBatch {
 		flags |= 4
 	}
+	if cfg.NoPackedStatics {
+		flags |= 8
+	}
 	e.u8(flags)
 	e.i64(cfg.StaticCacheBytes)
 	e.i64(cfg.DynamicCacheBytes)
@@ -64,6 +67,7 @@ func decodeConfig(p []byte) (sim.Config, error) {
 	cfg.StubsBreakTies = flags&1 != 0
 	cfg.ProjectStubUpgrades = flags&2 != 0
 	cfg.NoProjectionBatch = flags&4 != 0
+	cfg.NoPackedStatics = flags&8 != 0
 	cfg.StaticCacheBytes = d.i64()
 	cfg.DynamicCacheBytes = d.i64()
 	cfg.StaticPrefetch = int(d.i64())

@@ -379,6 +379,18 @@ func (c *Coordinator) migrateShard(src, dst *workerConn, s int, info *sim.ExecIn
 			break
 		}
 	}
+	// The drop reply carries the shard's packed static cache — the warm-
+	// handoff payload forwarded to dst below. Losing it only costs
+	// warmth (dst recomputes the statics bit-identically), so a failure
+	// here marks src dead but the migration itself proceeds cold.
+	var statics []byte
+	if p, err := src.recv(c.timeout); err != nil {
+		c.markDead(src, info, fmt.Errorf("collecting shard %d statics: %w", s, err))
+	} else if p[0] != frameShardStatics {
+		c.markDead(src, info, fmt.Errorf("dist: unexpected frame type %d awaiting shard statics", p[0]))
+	} else {
+		statics = p
+	}
 	// From here on the shard belongs to dst, even if dst dies mid-
 	// handoff: reassign finds it on the dead worker's list and replays.
 	dst.shards = append(dst.shards, s)
@@ -391,6 +403,12 @@ func (c *Coordinator) migrateShard(src, dst *workerConn, s int, info *sim.ExecIn
 	if err := dst.send(encodeAssign([]int{s})); err != nil {
 		c.markDead(dst, info, fmt.Errorf("migrating shard %d: %w", s, err))
 		return false
+	}
+	if statics != nil {
+		if err := dst.send(statics); err != nil {
+			c.markDead(dst, info, fmt.Errorf("migrating shard %d statics: %w", s, err))
+			return false
+		}
 	}
 	info.ShardsMigrated++
 	return true

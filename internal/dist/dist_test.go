@@ -370,6 +370,18 @@ func TestRebalanceForcedMigrations(t *testing.T) {
 	if migrated != 4 {
 		t.Errorf("round stats report %d migrated shards, want 4", migrated)
 	}
+	// Every migration ships the shard's packed statics (the drop reply,
+	// forwarded after the assign), so no recorded round recomputes a
+	// static the pristine pass already built — a cold landing would.
+	var misses int64
+	for _, rd := range res.Rounds {
+		if rd.Stats != nil {
+			misses += rd.Stats.StaticMisses
+		}
+	}
+	if misses != 0 {
+		t.Errorf("migrated shards recomputed %d statics; the warm handoff failed", misses)
+	}
 	if got := serialize(t, res); !bytes.Equal(got, want) {
 		t.Fatal("result with forced migrations differs from in-process")
 	}

@@ -38,8 +38,11 @@ import (
 
 // protoVersion guards both sides against frame-format drift; bump on
 // any wire change. v2 added the drop frame (shard rebalancing) and the
-// NoProjectionBatch config flag.
-const protoVersion = 2
+// NoProjectionBatch config flag. v3 added the shard-statics frame
+// (packed warm-handoff payload for migrations — workers answer every
+// drop with one), two packed-cache stats fields, and the
+// NoPackedStatics config flag.
+const protoVersion = 3
 
 // Frame types. Direction is fixed per type: the coordinator sends
 // hello/snapshot/round/assign/recompute/drop/bye, workers send
@@ -56,6 +59,11 @@ const (
 	frameError     = 9
 	frameBye       = 10
 	frameDrop      = 11
+	// frameShardStatics carries packed static blobs (routing/packed.go)
+	// in both directions of a shard migration: the source worker sends
+	// its dropped shards' cache contents to the coordinator, which
+	// forwards them to the destination worker after the assign frame.
+	frameShardStatics = 12
 )
 
 // maxFrameLen bounds a frame payload (1 GiB): large enough for a
@@ -457,6 +465,47 @@ func decodeDrop(p []byte) ([]int, error) {
 	return shards, nil
 }
 
+// encodeShardStatics renders a set of packed static blobs
+// (routing/packed.go) as one shard-statics frame: the warm-handoff
+// payload of a migration. The source worker answers every drop frame
+// with one (empty when packing is off or the caches held nothing), and
+// the coordinator forwards it to the migration destination after the
+// assign frame. Each blob is self-describing — it carries its own
+// destination id — so the frame needs no per-shard structure.
+func encodeShardStatics(blobs [][]byte) []byte {
+	size := 5
+	for _, b := range blobs {
+		size += 4 + len(b)
+	}
+	e := &enc{b: make([]byte, 0, size)}
+	e.u8(frameShardStatics)
+	e.u32(uint32(len(blobs)))
+	for _, b := range blobs {
+		e.bytes(b)
+	}
+	return e.b
+}
+
+// decodeShardStatics parses a shard-statics frame. The returned blobs
+// alias the frame buffer: callers must finish importing them (the
+// cache copies admitted bytes into its arena) before reading the next
+// frame into the same buffer.
+func decodeShardStatics(p []byte) ([][]byte, error) {
+	d := &dec{b: p}
+	if d.u8() != frameShardStatics {
+		return nil, fmt.Errorf("dist: not a shard-statics frame")
+	}
+	n := d.count(1)
+	var blobs [][]byte
+	for i := 0; i < n && d.err == nil; i++ {
+		blobs = append(blobs, d.bytes())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return blobs, nil
+}
+
 // recomputeMsg asks the worker to compute a subset of its shards for
 // the round it already answered — the replay path for shards it just
 // adopted.
@@ -484,7 +533,7 @@ func decodeRecompute(p []byte, into *recomputeMsg) error {
 }
 
 // statsWireFields is the fixed field count of a ShardStats block.
-const statsWireFields = 22
+const statsWireFields = 24
 
 func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.WallNS)
@@ -509,6 +558,8 @@ func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.DynCacheEvictions)
 	e.i64(s.PrefetchHits)
 	e.i64(s.PrefetchWasted)
+	e.i64(s.StaticPackedBytes)
+	e.i64(s.StaticPackedEntries)
 }
 
 func decodeStats(d *dec, s *sim.ShardStats) {
@@ -534,6 +585,8 @@ func decodeStats(d *dec, s *sim.ShardStats) {
 	s.DynCacheEvictions = d.i64()
 	s.PrefetchHits = d.i64()
 	s.PrefetchWasted = d.i64()
+	s.StaticPackedBytes = d.i64()
+	s.StaticPackedEntries = d.i64()
 }
 
 // partialsMsg returns one or more logical shards' partial sums for a

@@ -133,6 +133,33 @@ func TestDropRoundTrip(t *testing.T) {
 	}
 }
 
+// TestShardStaticsRoundTrip: packed blobs survive the frame codec
+// byte-exactly, an empty payload is legal (the always-sent drop reply
+// when packing is off), and foreign frames are rejected.
+func TestShardStaticsRoundTrip(t *testing.T) {
+	in := [][]byte{{0xB5, 1, 2, 3}, {0xB5}, {0xB5, 0, 0xFF, 7, 9, 200}}
+	out, err := decodeShardStatics(encodeShardStatics(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %v, want %v", out, in)
+	}
+	empty, err := decodeShardStatics(encodeShardStatics(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty payload decoded to %d blobs", len(empty))
+	}
+	if _, err := decodeShardStatics(encodeDrop([]int{1})); err == nil {
+		t.Fatal("drop frame decoded as shard statics")
+	}
+	if _, err := decodeShardStatics(encodeShardStatics(in)[:5]); err == nil {
+		t.Fatal("truncated shard-statics frame decoded")
+	}
+}
+
 // TestPartialsRoundTrip checks the float vectors survive bit-exactly —
 // including NaN payloads and signed zeros — and that every ShardStats
 // field travels.
@@ -145,7 +172,7 @@ func TestPartialsRoundTrip(t *testing.T) {
 				Shard:  2,
 				UBase:  mk(1.5, math.NaN(), math.Inf(1), math.Copysign(0, -1)),
 				UDelta: mk(0, -2.25, 1e-308, 3),
-				Stats:  sim.ShardStats{WallNS: 123, StaticHits: 1, StaticMisses: 2, StaticCacheBytes: 3, StaticCacheEntries: 4, BaseResolutions: 5, ProjResolutions: 6, ProjUnchanged: 7, SkipZeroUtil: 8, SkipInsecureDest: 9, SkipDestFlip: 10, SkipTurnOff: 11, SkipTurnOn: 12, NodesReused: 13, NodesRecomputed: 14, DirtyDests: 15, CleanDests: 16, DynCacheBytes: 17, DynCacheEntries: 18, DynCacheEvictions: 19, PrefetchHits: 20, PrefetchWasted: 21},
+				Stats:  sim.ShardStats{WallNS: 123, StaticHits: 1, StaticMisses: 2, StaticCacheBytes: 3, StaticCacheEntries: 4, BaseResolutions: 5, ProjResolutions: 6, ProjUnchanged: 7, SkipZeroUtil: 8, SkipInsecureDest: 9, SkipDestFlip: 10, SkipTurnOff: 11, SkipTurnOn: 12, NodesReused: 13, NodesRecomputed: 14, DirtyDests: 15, CleanDests: 16, DynCacheBytes: 17, DynCacheEntries: 18, DynCacheEvictions: 19, PrefetchHits: 20, PrefetchWasted: 21, StaticPackedBytes: 22, StaticPackedEntries: 23},
 			},
 			{
 				Shard:  5,
@@ -207,6 +234,7 @@ func TestConfigRoundTrip(t *testing.T) {
 		{},
 		{Model: sim.Incoming, StubsBreakTies: true, StaticCacheBytes: -1},
 		{NoProjectionBatch: true, DynamicCacheBytes: -1},
+		{NoPackedStatics: true, StaticCacheBytes: 1 << 22},
 		{ProjectStubUpgrades: true, StaticCacheBytes: 1 << 20, DynamicCacheBytes: 1 << 21, Tiebreaker: routing.HashTiebreaker{Seed: 99}},
 		{StaticPrefetch: 4, Tiebreaker: routing.HashTiebreaker{}},
 		{Tiebreaker: routing.LowestIndex{}},

@@ -176,6 +176,19 @@ func serveConn(conn io.ReadWriter, opts serveOpts) error {
 			if err := eng.RemoveShards(shards); err != nil {
 				return bail(err)
 			}
+			// Answer with the dropped shards' packed statics so the
+			// migration destination lands warm. Always reply — empty
+			// when packing is off or the caches held nothing — so the
+			// coordinator can await the frame unconditionally.
+			if err := send(encodeShardStatics(eng.ExportStatics(shards))); err != nil {
+				return err
+			}
+		case frameShardStatics:
+			blobs, err := decodeShardStatics(buf)
+			if err != nil {
+				return bail(err)
+			}
+			eng.ImportStatics(blobs)
 		case frameRecompute:
 			if err := decodeRecompute(buf, &rec); err != nil {
 				return bail(err)

@@ -47,6 +47,11 @@ type Options struct {
 	// convention: 0 default, positive cap, negative off. Performance
 	// knob only — results are bit-identical for every setting.
 	DynamicCacheBytes int64
+	// NoPackedStatics disables the packed static cache storage
+	// (sim.Config.NoPackedStatics). Performance only; results are
+	// bit-identical either way.
+	NoPackedStatics bool
+
 	// StaticPrefetch sets each simulation's per-shard static prefetch
 	// pipeline depth (sim.Config.StaticPrefetch; 0 = off). Performance
 	// knob only — results are bit-identical for every depth.
@@ -97,6 +102,7 @@ func (o Options) withDefaults() Options {
 		o.store.StaticCacheBytes = o.StaticCacheBytes
 		o.store.DynamicCacheBytes = o.DynamicCacheBytes
 		o.store.StaticPrefetch = o.StaticPrefetch
+		o.store.NoPackedStatics = o.NoPackedStatics
 		o.store.DistWorkers = o.DistWorkers
 		o.store.Rebalance = o.Rebalance
 	}

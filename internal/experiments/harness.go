@@ -126,6 +126,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 	store.StaticCacheBytes = opt.StaticCacheBytes
 	store.DynamicCacheBytes = opt.DynamicCacheBytes
 	store.StaticPrefetch = opt.StaticPrefetch
+	store.NoPackedStatics = opt.NoPackedStatics
 	store.DistWorkers = opt.DistWorkers
 	store.Rebalance = opt.Rebalance
 	opt.store = store

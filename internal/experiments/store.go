@@ -48,6 +48,12 @@ type Store struct {
 	// contribution cache (sim.Config.DynamicCacheBytes) — also excluded
 	// from Config.Fingerprint, also bit-identical at any setting.
 	DynamicCacheBytes int64
+	// NoPackedStatics disables the packed static cache storage
+	// (sim.Config.NoPackedStatics) in every simulation executed through
+	// the store. Performance only; results — and therefore cache keys —
+	// are unaffected.
+	NoPackedStatics bool
+
 	// StaticPrefetch sets the per-shard static prefetch pipeline depth
 	// (sim.Config.StaticPrefetch) of every simulation executed through
 	// the store; 0 leaves prefetching off. Also excluded from
@@ -272,6 +278,9 @@ func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, erro
 	}
 	if s.StaticPrefetch > 0 {
 		cfg.StaticPrefetch = s.StaticPrefetch
+	}
+	if s.NoPackedStatics {
+		cfg.NoPackedStatics = true
 	}
 	// Serve statics from a per-graph shared store unless static caching
 	// is disabled outright (negative budget).

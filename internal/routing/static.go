@@ -362,36 +362,7 @@ func (w *Workspace) computeStatic(d int32, tb Tiebreaker, wantWin bool) *Static 
 	n := int32(g.N())
 	s := &w.static
 
-	// Un-mark the previous destination's entries, restoring the
-	// all-clear invariant in O(previous reachable). When the previous
-	// reachable set covered most of the graph, sequential full clears
-	// are cheaper than scattered stores.
-	if prev := s.Dest; prev >= 0 {
-		if len(s.order) >= int(n)/4 {
-			clear(s.Type) // NoRoute is the zero value
-			clear(w.reach)
-			clear(w.lvl8)
-			// -1 is not the zero value, so these would be scalar fill
-			// loops; copying from a constant -1 template runs at memmove
-			// speed instead.
-			copy(s.Len, w.neg1)
-			copy(s.pos, w.neg1)
-			copy(w.winBuf, w.neg1)
-		} else {
-			for _, i := range s.order {
-				s.Type[i] = NoRoute
-				s.Len[i] = -1
-				s.pos[i] = -1
-				w.winBuf[i] = -1
-				w.reach[i>>6] &^= 1 << uint(i&63)
-				w.lvl8[i] = 0
-			}
-			s.Type[prev] = NoRoute
-			s.Len[prev] = -1
-			w.reach[prev>>6] &^= 1 << uint(prev&63)
-			w.lvl8[prev] = 0
-		}
-	}
+	w.unmarkPrev()
 	s.Dest = d
 	s.win = nil
 	s.deltaReady = false
@@ -695,6 +666,44 @@ func (w *Workspace) computeStatic(d int32, tb Tiebreaker, wantWin bool) *Static 
 		s.win = w.winBuf
 	}
 	return s
+}
+
+// unmarkPrev un-marks the previous destination's entries, restoring
+// the all-clear invariant in O(previous reachable): every per-node
+// array back at its sentinel (NoRoute/-1/-1/-1, reach and lvl8 clear)
+// for exactly what the previous build — or packed decode — marked.
+// When the previous reachable set covered most of the graph,
+// sequential full clears are cheaper than scattered stores.
+func (w *Workspace) unmarkPrev() {
+	s := &w.static
+	prev := s.Dest
+	if prev < 0 {
+		return
+	}
+	if len(s.order) >= w.g.N()/4 {
+		clear(s.Type) // NoRoute is the zero value
+		clear(w.reach)
+		clear(w.lvl8)
+		// -1 is not the zero value, so these would be scalar fill
+		// loops; copying from a constant -1 template runs at memmove
+		// speed instead.
+		copy(s.Len, w.neg1)
+		copy(s.pos, w.neg1)
+		copy(w.winBuf, w.neg1)
+	} else {
+		for _, i := range s.order {
+			s.Type[i] = NoRoute
+			s.Len[i] = -1
+			s.pos[i] = -1
+			w.winBuf[i] = -1
+			w.reach[i>>6] &^= 1 << uint(i&63)
+			w.lvl8[i] = 0
+		}
+		s.Type[prev] = NoRoute
+		s.Len[prev] = -1
+		w.reach[prev>>6] &^= 1 << uint(prev&63)
+		w.lvl8[prev] = 0
+	}
 }
 
 // PrepareDest is ComputeStatic plus precomputation of every node's

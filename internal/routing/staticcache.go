@@ -16,38 +16,66 @@ import (
 // against the snapshot from then on removes the three-stage BFS from the
 // steady-state round entirely, and is bit-identical by construction
 // because resolution only ever reads a Static.
+//
+// Two storage formats share one cache. Unpacked entries are Snapshot
+// deep copies: resolution reads them directly, and lazily materialized
+// additions (PrepareDelta, provider parents, support lists) land on the
+// cached copy and are memoized across rounds. Packed entries are the
+// blob form of packed.go at ≈3–5 B/node instead of ≈26: resolution
+// decodes them into the calling worker's Workspace on every hit, which
+// costs O(reachable) but stays far below the BFS it replaces. A packed
+// cache starts in unpacked mode — small graphs whose full snapshot set
+// fits the budget never pay the decode — and repacks every entry in
+// place the first time an admission or a lazy growth would overflow the
+// budget, then admits packed from there on: the 3–9x density buys
+// paper-scale graphs cache residency instead of admission stops.
 
-// DefaultStaticCacheBytes is the default static-cache budget: 1 GiB,
-// enough to hold the full per-destination snapshot set for graphs of up
-// to ~5000 ASes (a snapshot costs ≈35 bytes per node, so N destinations
-// of N nodes need ≈35·N² bytes: ~875 MB at N=5000). Larger graphs cache
-// a pinned prefix of destinations and recompute the rest each round.
+// DefaultStaticCacheBytes is the default static-cache budget: 1 GiB.
+// An unpacked snapshot costs ≈26 bytes per node at admission (Type,
+// Len, pos, winners, order and the tiebreak CSR; the delta-dependents
+// index adds ≈12 B/node more when a round materializes it), so N
+// destinations of N nodes need ≈26·N²–38·N² bytes: the full unpacked
+// set fits up to N≈5000. Beyond that a packed cache (see above)
+// repacks to ≈3–5 B/node and stays resident to N≈15000; larger graphs
+// cache a pinned prefix of destinations and recompute the rest each
+// round.
 const DefaultStaticCacheBytes = int64(1) << 30
 
-// MemBytes returns the heap footprint a self-contained snapshot of s
-// occupies, counting the delta dependents index at its full size whether
-// or not it has been materialized yet — a snapshot admitted under a
-// budget may lazily grow its index later (PrepareDelta) without
-// re-checking the budget, so admission must account for it up front.
+// MemBytes returns the heap footprint of s, counting exactly what is
+// materialized right now: the always-present base arrays, plus the
+// delta-dependents index, provider parents and support lists only once
+// built. A snapshot admitted to a cache is charged its size at
+// admission; later lazy materialization grows the cached copy, and the
+// cache re-charges the growth on the next lookup of that destination
+// (eviction-on-materialize) rather than reserving the upper bound up
+// front as earlier versions did.
 func (s *Static) MemBytes() int64 {
 	n := int64(len(s.Type))
 	t := int64(len(s.tbAdj))
-	const sliceOverhead = 9 * 24 // slice headers in Static plus map/struct slack
+	r := int64(len(s.order))
+	const sliceOverhead = 16 * 24 // slice headers in Static plus struct slack
 	b := int64(0)
-	b += n                             // Type
-	b += 4 * n                         // Len
-	b += 4 * (int64(len(s.order)) + 1) // tbOff (position-indexed: one row per order entry)
-	b += 4 * t                         // tbAdj
-	b += 4 * int64(len(s.order))
-	b += 4 * n                   // pos
-	b += 4 * n                   // win (snapshots always carry winners)
-	b += 4 * (n + 1)             // revOff, counted even before PrepareDelta
-	b += 4 * t                   // revAdj, likewise
-	b += 4 * int64(len(s.order)) // depPos upper bound, likewise
-	b += 4 * t                   // provParents upper bound, likewise
-	b += n / 8                   // provBits, likewise
-	b += 4 * t                   // supIn upper bound (subset of provider parents)
-	b += 4 * n                   // supOut upper bound (subset of the class list)
+	b += n           // Type
+	b += 4 * n       // Len
+	b += 4 * (r + 1) // tbOff (position-indexed: one row per order entry)
+	b += 4 * t       // tbAdj
+	b += 4 * r       // order
+	b += 4 * n       // pos
+	if s.win != nil {
+		b += 4 * n
+	}
+	if s.deltaReady {
+		b += 4 * int64(len(s.revOff)+len(s.revAdj)+len(s.depPos))
+	}
+	if s.provReady {
+		b += 4*int64(len(s.provParents)) + 8*int64(len(s.provBits))
+	}
+	if s.supOutReady {
+		b += 4 * int64(len(s.supOut))
+	}
+	if s.supInReady {
+		b += 4 * int64(len(s.supIn))
+	}
 	return b + sliceOverhead
 }
 
@@ -91,79 +119,340 @@ func (s *Static) Snapshot() *Static {
 	return c
 }
 
-// StaticCache memoizes per-destination static snapshots under a byte
-// budget. It is deliberately lock-free and goroutine-private: the
-// engine stripes destinations statically across workers (worker w owns
-// d ≡ w mod nw), so each worker caches exactly the destinations it will
-// process on every future round and no two workers ever share a cache.
+// arenaSlabBytes is the chunk size of a cache's blob arena. Blobs
+// larger than a quarter slab get a dedicated allocation.
+const arenaSlabBytes = 1 << 20
+
+// staticArena bump-allocates packed blobs into large slabs so a cache
+// holding tens of thousands of small blobs costs that many arena
+// *copies*, not that many heap objects. Blobs are never freed
+// individually: entries are only removed by whole-entry eviction,
+// whose arena bytes become slack (bounded — eviction happens only on
+// pathological growth after a repack). Filled slabs are retained by
+// the blob slices that point into them; the arena itself only keeps
+// the slab it is currently filling.
+type staticArena struct {
+	cur       []byte
+	allocated int64
+}
+
+// place copies b into the arena and returns the arena-backed copy,
+// capacity-clipped so appends can never bleed into a neighbor.
+func (a *staticArena) place(b []byte) []byte {
+	if len(b) > arenaSlabBytes/4 {
+		a.allocated += int64(len(b))
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out
+	}
+	if cap(a.cur)-len(a.cur) < len(b) {
+		a.cur = make([]byte, 0, arenaSlabBytes)
+		a.allocated += arenaSlabBytes
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, b...)
+	return a.cur[start:len(a.cur):len(a.cur)]
+}
+
+// cacheEntry is one destination's cached static: exactly one of snap
+// (unpacked snapshot) or blob (packed, arena-backed) is set. charged is
+// the byte cost accounted against the budget for this entry.
+type cacheEntry struct {
+	snap    *Static
+	blob    []byte
+	charged int64
+}
+
+// entryOverhead approximates the map-slot plus entry-struct cost of
+// one cached destination.
+const entryOverhead = 64
+
+// StaticCache memoizes per-destination statics under a byte budget. It
+// is deliberately lock-free and goroutine-private: the engine stripes
+// destinations statically across workers (worker w owns d ≡ w mod nw),
+// so each worker caches exactly the destinations it will process on
+// every future round and no two workers ever share a cache.
 //
-// Admission is first-fit and entries are never evicted: every
-// destination is looked up exactly once per round, so all entries have
-// identical reuse and the first snapshots admitted are as valuable as
-// any other — pinning them avoids churn and keeps behavior
-// deterministic. Destinations that do not fit are recomputed each round
-// and counted as misses.
+// Admission is first-fit: every destination is looked up exactly once
+// per round, so all entries have identical reuse and the first
+// snapshots admitted are as valuable as any other — pinning them
+// avoids churn and keeps behavior deterministic. Eviction exists only
+// as the overflow response to lazy growth of already-admitted entries
+// (newest admissions evict first; see Get). A packed cache (see the
+// package comment above) additionally responds to its first overflow
+// by repacking every entry instead of stopping admission.
 type StaticCache struct {
-	budget  int64
-	bytes   int64
-	full    bool
-	entries map[int32]*Static
+	budget   int64
+	bytes    int64
+	full     bool
+	packed   bool // packed storage enabled: repack on overflow
+	repacked bool // first overflow happened; admissions encode from here on
+	g        *asgraph.Graph
+	entries  map[int32]cacheEntry
+	seq      []int32 // admission order: deterministic repack/eviction order
+
+	evictions     int64
+	packedBytes   int64
+	packedEntries int64
+	arena         staticArena
+	scratch       []byte
 }
 
-// NewStaticCache returns a cache that admits snapshots until adding one
-// would exceed budget bytes.
+// NewStaticCache returns an unpacked-only cache that admits snapshots
+// until adding one would exceed budget bytes.
 func NewStaticCache(budget int64) *StaticCache {
-	return &StaticCache{budget: budget, entries: make(map[int32]*Static)}
+	return NewStaticCacheFor(nil, budget, false)
 }
 
-// Get returns the cached snapshot for destination d, or nil. A nil
-// cache always misses.
-func (c *StaticCache) Get(d int32) *Static {
+// NewStaticCacheFor returns a cache for graph g. With packed set, the
+// cache repacks itself into the ≈3–5 B/node blob format on its first
+// budget overflow and keeps admitting packed entries from then on; g
+// must be non-nil in that case (encoding is graph-relative).
+func NewStaticCacheFor(g *asgraph.Graph, budget int64, packed bool) *StaticCache {
+	if packed && g == nil {
+		panic("routing: packed StaticCache needs a graph")
+	}
+	return &StaticCache{budget: budget, packed: packed, g: g, entries: make(map[int32]cacheEntry)}
+}
+
+// Has reports whether destination d is cached, without decoding.
+func (c *StaticCache) Has(d int32) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.entries[d]
+	return ok
+}
+
+// Get returns the cached static for destination d, or nil. A nil cache
+// always misses. Unpacked entries are returned directly; packed entries
+// are decoded into w's scratch and the result is invalidated by w's
+// next build or decode — within the engine that is safe, as a
+// destination's static is only used while processing that destination.
+//
+// Get is also where lazy materialization is charged: if the entry's
+// snapshot grew since admission (PrepareDelta and friends land on the
+// cached copy), the growth is added to the accounted bytes now, and an
+// overflow triggers the packed repack — or, unpacked, evicts the
+// newest-admitted entries until the budget holds again
+// (eviction-on-materialize; d itself is spared, it is in use).
+func (c *StaticCache) Get(d int32, w *Workspace) *Static {
 	if c == nil {
 		return nil
 	}
-	return c.entries[d]
+	e, ok := c.entries[d]
+	if !ok {
+		return nil
+	}
+	if e.blob != nil {
+		s, err := w.DecodePacked(e.blob)
+		if err != nil {
+			// Unreachable for blobs this cache encoded; an imported blob
+			// that fails stays cached but unusable — treat as a miss.
+			return nil
+		}
+		return s
+	}
+	if sz := e.snap.MemBytes(); sz > e.charged {
+		c.bytes += sz - e.charged
+		e.charged = sz
+		c.entries[d] = e
+		if c.bytes > c.budget {
+			if c.packed {
+				c.repackAll()
+				if e := c.entries[d]; e.blob != nil {
+					s, err := w.DecodePacked(e.blob)
+					if err != nil {
+						return nil
+					}
+					return s
+				}
+				return nil
+			}
+			c.evictNewest(d)
+		}
+	}
+	return e.snap
 }
 
-// Add snapshots s and admits it if it fits the remaining budget,
-// returning the stored snapshot — which the caller should use in place
-// of s, so that lazily materialized additions (PrepareDelta) land on
-// the cached copy — or nil when the budget is exhausted.
+// evictNewest removes the newest-admitted entries until the budget
+// holds, sparing keep (the entry whose growth triggered the overflow —
+// it is in use by the caller). Evicting from the newest end preserves
+// the first-fit philosophy: the oldest entries stay pinned.
+func (c *StaticCache) evictNewest(keep int32) {
+	c.full = true
+	for i := len(c.seq) - 1; i >= 0 && c.bytes > c.budget; i-- {
+		d := c.seq[i]
+		if d == keep {
+			continue
+		}
+		c.dropEntry(d)
+		c.seq = append(c.seq[:i], c.seq[i+1:]...)
+		c.evictions++
+	}
+}
+
+// dropEntry removes d from the map and the accounting (not from seq).
+func (c *StaticCache) dropEntry(d int32) {
+	e := c.entries[d]
+	delete(c.entries, d)
+	c.bytes -= e.charged
+	if e.blob != nil {
+		c.packedBytes -= int64(len(e.blob))
+		c.packedEntries--
+	}
+}
+
+// repackAll converts every unpacked entry to its packed blob in
+// admission order, rebasing the accounted bytes on the packed sizes.
+// This runs once, on the first overflow of a packed cache; from then
+// on admissions encode directly (repacked).
+func (c *StaticCache) repackAll() {
+	c.repacked = true
+	var bytes int64
+	for _, d := range c.seq {
+		e := c.entries[d]
+		if e.snap != nil {
+			c.scratch = AppendPacked(c.scratch[:0], e.snap, c.g)
+			e = cacheEntry{blob: c.arena.place(c.scratch), charged: int64(len(c.scratch)) + entryOverhead}
+			c.entries[d] = e
+			c.packedBytes += int64(len(e.blob))
+			c.packedEntries++
+		}
+		bytes += e.charged
+	}
+	c.bytes = bytes
+	if c.bytes > c.budget {
+		c.evictNewest(-1)
+	}
+}
+
+// Add admits the static for s.Dest, returning the stored snapshot —
+// which the caller should use in place of s, so that lazily
+// materialized additions (PrepareDelta) land on the cached copy — or
+// nil when nothing directly usable was stored: budget exhausted, or
+// the entry went in packed (the caller keeps resolving against s; hits
+// on later rounds decode). s must carry winners when the cache is
+// packed.
 func (c *StaticCache) Add(s *Static) *Static {
 	if c == nil {
 		return nil
 	}
+	if c.repacked {
+		c.addPacked(s)
+		return nil
+	}
 	sz := s.MemBytes()
 	if c.bytes+sz > c.budget {
+		if c.packed {
+			c.repackAll()
+			c.addPacked(s)
+			return nil
+		}
 		c.full = true
 		return nil
 	}
 	snap := s.Snapshot()
-	c.entries[s.Dest] = snap
-	c.bytes += sz
+	c.insert(s.Dest, cacheEntry{snap: snap, charged: sz})
 	return snap
 }
 
 // AddOwned admits s itself — which must already be a self-contained
 // Snapshot the caller relinquishes — without the deep copy Add performs.
 // This is the admission path for prefetched snapshots, which arrive
-// already copied out of the prefetch workspace. Returns s when admitted,
-// nil when the budget is exhausted (the caller may still use s).
+// already copied out of the prefetch workspace. Returns s when admitted
+// unpacked, nil otherwise (the caller may still use s).
 func (c *StaticCache) AddOwned(s *Static) *Static {
 	if c == nil {
 		return nil
 	}
+	if c.repacked {
+		c.addPacked(s)
+		return nil
+	}
 	sz := s.MemBytes()
 	if c.bytes+sz > c.budget {
+		if c.packed {
+			c.repackAll()
+			c.addPacked(s)
+			return nil
+		}
 		c.full = true
 		return nil
 	}
-	c.entries[s.Dest] = s
-	c.bytes += sz
+	c.insert(s.Dest, cacheEntry{snap: s, charged: sz})
 	return s
 }
 
-// Bytes returns the accounted size of all admitted snapshots.
+// addPacked encodes s and admits the blob. Once an admission has been
+// rejected for budget, further attempts are skipped outright: the
+// encode is O(reachable), and paying it per miss on every round after
+// the cache fills would hand back a large share of the win (a smaller
+// later snapshot might squeeze into the remaining slack, but that
+// slack is under one blob by construction).
+func (c *StaticCache) addPacked(s *Static) {
+	if c.full {
+		return
+	}
+	c.scratch = AppendPacked(c.scratch[:0], s, c.g)
+	c.addBlobBytes(s.Dest, c.scratch)
+}
+
+// AddBlob admits an already-encoded packed blob (a prefetched or
+// wire-imported static) for destination d, copying it into the arena.
+// Only packed caches accept blobs. Returns whether the blob was
+// admitted; the caller keeps ownership of blob either way.
+func (c *StaticCache) AddBlob(d int32, blob []byte) bool {
+	if c == nil || !c.packed {
+		return false
+	}
+	return c.addBlobBytes(d, blob)
+}
+
+func (c *StaticCache) addBlobBytes(d int32, blob []byte) bool {
+	if _, ok := c.entries[d]; ok {
+		return false
+	}
+	sz := int64(len(blob)) + entryOverhead
+	if c.bytes+sz > c.budget {
+		c.full = true
+		return false
+	}
+	b := c.arena.place(blob)
+	c.insert(d, cacheEntry{blob: b, charged: sz})
+	c.packedBytes += int64(len(b))
+	c.packedEntries++
+	return true
+}
+
+func (c *StaticCache) insert(d int32, e cacheEntry) {
+	c.entries[d] = e
+	c.seq = append(c.seq, d)
+	c.bytes += e.charged
+}
+
+// ExportPacked returns every cached entry as a packed blob, in
+// admission order: the warm-handoff payload for dist shard migration.
+// Unpacked entries are encoded on demand (requires a graph-bound
+// cache); already-packed entries alias the arena — callers must treat
+// the returned blobs as read-only and short-lived.
+func (c *StaticCache) ExportPacked() [][]byte {
+	if c == nil || c.g == nil {
+		return nil
+	}
+	out := make([][]byte, 0, len(c.seq))
+	for _, d := range c.seq {
+		e := c.entries[d]
+		if e.blob != nil {
+			out = append(out, e.blob)
+		} else {
+			out = append(out, AppendPacked(nil, e.snap, c.g))
+		}
+	}
+	return out
+}
+
+// Bytes returns the accounted size of all admitted entries.
 func (c *StaticCache) Bytes() int64 {
 	if c == nil {
 		return 0
@@ -182,6 +471,43 @@ func (c *StaticCache) Entries() int {
 // Full reports whether an admission has ever been rejected for budget.
 func (c *StaticCache) Full() bool { return c != nil && c.full }
 
+// Repacked reports whether the cache has switched to packed storage
+// (first overflow of a packed cache happened).
+func (c *StaticCache) Repacked() bool { return c != nil && c.repacked }
+
+// Evictions returns how many entries lazy-growth overflows evicted.
+func (c *StaticCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions
+}
+
+// PackedBytes returns the payload bytes of packed entries.
+func (c *StaticCache) PackedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.packedBytes
+}
+
+// PackedEntries returns the number of packed entries.
+func (c *StaticCache) PackedEntries() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.packedEntries
+}
+
+// ArenaBytes returns the total bytes the blob arena has allocated
+// (slabs plus dedicated blobs), for accounting tests.
+func (c *StaticCache) ArenaBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.arena.allocated
+}
+
 // SharedStaticCache is a concurrency-safe, graph-level snapshot store:
 // one per graph, shared by every simulation that runs on it. A Static
 // depends only on (graph, destination, tiebreaker) — never on the
@@ -191,11 +517,14 @@ func (c *StaticCache) Full() bool { return c != nil && c.full }
 // then pays the static cold start once per graph instead of once per
 // simulation.
 //
-// Published snapshots are fully materialized before insertion (tiebreak
+// Unpacked entries are fully materialized before insertion (tiebreak
 // winners, delta dependents index, provider parents), so the *Static a
 // reader receives is immutable: every lazy accessor is already a no-op
-// and any goroutine may resolve against it without synchronization.
-// Only the store's own map is guarded.
+// and any goroutine may resolve against it without synchronization —
+// and, because nothing can grow, Get never needs to re-charge under
+// its read lock. Packed entries (the store repacks on overflow exactly
+// like a private cache) are immutable bytes decoded into the calling
+// worker's own scratch. Only the store's own map is guarded.
 //
 // The store is bound to one (graph, tiebreaker) pair on first use;
 // binding a different pair is an error — statics from one graph are
@@ -209,7 +538,8 @@ type SharedStaticCache struct {
 
 // NewSharedStaticCache returns an unbound store that admits snapshots
 // until adding one would exceed budget bytes; budget 0 means
-// DefaultStaticCacheBytes.
+// DefaultStaticCacheBytes. The store repacks on overflow (see
+// StaticCache) once bound to its graph.
 func NewSharedStaticCache(budget int64) *SharedStaticCache {
 	if budget == 0 {
 		budget = DefaultStaticCacheBytes
@@ -227,6 +557,8 @@ func (sc *SharedStaticCache) Bind(g *asgraph.Graph, tb Tiebreaker) error {
 	if sc.g == nil {
 		sc.g = g
 		sc.tb = fp
+		sc.c.g = g
+		sc.c.packed = true
 		return nil
 	}
 	if sc.g != g {
@@ -238,27 +570,65 @@ func (sc *SharedStaticCache) Bind(g *asgraph.Graph, tb Tiebreaker) error {
 	return nil
 }
 
-// Get returns the published snapshot for destination d, or nil. A nil
-// store always misses.
-func (sc *SharedStaticCache) Get(d int32) *Static {
+// Has reports whether destination d is published, without decoding.
+func (sc *SharedStaticCache) Has(d int32) bool {
+	if sc == nil {
+		return false
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Has(d)
+}
+
+// Get returns the published static for destination d, or nil. A nil
+// store always misses. Packed entries decode into w's scratch (owned
+// by the calling goroutine); unpacked entries are immutable shared
+// snapshots — either way the result is safe to resolve against without
+// further synchronization.
+func (sc *SharedStaticCache) Get(d int32, w *Workspace) *Static {
 	if sc == nil {
 		return nil
 	}
 	sc.mu.RLock()
 	defer sc.mu.RUnlock()
-	return sc.c.Get(d)
+	e, ok := sc.c.entries[d]
+	if !ok {
+		return nil
+	}
+	if e.blob != nil {
+		s, err := w.DecodePacked(e.blob)
+		if err != nil {
+			return nil
+		}
+		return s
+	}
+	return e.snap
 }
 
-// Add materializes s in full (delta dependents, provider parents and
-// the per-model utility support lists over the graph's ISP index; the
-// caller's PrepareDest already computed the winners), snapshots it, and
-// publishes the snapshot budget permitting. Two workers that computed
-// the same destination concurrently dedupe here: the loser gets the
-// winner's snapshot back, which is bit-identical to its own. Returns
-// nil when the budget is exhausted — the caller then resolves against
-// its workspace static as usual.
+// Add publishes the static for s.Dest, budget permitting. In unpacked
+// mode it materializes s in full (delta dependents, provider parents
+// and the per-model utility support lists over the graph's ISP index;
+// the caller's PrepareDest already computed the winners), snapshots it,
+// and publishes the immutable snapshot; two workers that computed the
+// same destination concurrently dedupe here, the loser getting the
+// winner's snapshot back — bit-identical to its own. Once the store
+// has repacked, Add instead encodes s outside the lock and publishes
+// the blob. Returns the usable shared snapshot, or nil when the caller
+// should keep resolving against its own workspace static (packed
+// store, duplicate, or budget exhausted).
 func (sc *SharedStaticCache) Add(w *Workspace, s *Static) *Static {
 	if sc == nil {
+		return nil
+	}
+	sc.mu.RLock()
+	repacked := sc.c.repacked
+	sc.mu.RUnlock()
+	if repacked {
+		// Encode outside the lock; the blob is built from caller-owned s.
+		blob := AppendPacked(nil, s, sc.g)
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		sc.c.addBlobBytes(s.Dest, blob)
 		return nil
 	}
 	w.PrepareDelta(s)
@@ -267,10 +637,11 @@ func (sc *SharedStaticCache) Add(w *Workspace, s *Static) *Static {
 	s.SupportIncoming(w.Graph().ISPs())
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if got := sc.c.Get(s.Dest); got != nil {
-		return got
+	if e, ok := sc.c.entries[s.Dest]; ok {
+		return e.snap // nil if the existing entry is packed
 	}
-	return sc.c.Add(s)
+	got := sc.c.Add(s)
+	return got
 }
 
 // Bytes returns the accounted size of all published snapshots.
@@ -291,6 +662,36 @@ func (sc *SharedStaticCache) Entries() int {
 	sc.mu.RLock()
 	defer sc.mu.RUnlock()
 	return sc.c.Entries()
+}
+
+// PackedEntries returns the number of packed published destinations.
+func (sc *SharedStaticCache) PackedEntries() int64 {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.PackedEntries()
+}
+
+// PackedBytes returns the payload bytes of packed published entries.
+func (sc *SharedStaticCache) PackedBytes() int64 {
+	if sc == nil {
+		return 0
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.PackedBytes()
+}
+
+// Repacked reports whether the store has switched to packed storage.
+func (sc *SharedStaticCache) Repacked() bool {
+	if sc == nil {
+		return false
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.Repacked()
 }
 
 // Full reports whether an admission has ever been rejected for budget.

@@ -47,7 +47,7 @@ func TestQuickSnapshotResolutionIdentical(t *testing.T) {
 				coldProj.Clear(n)
 				wCold.ResolveInto(&coldProj, sCold, sec, brk, flipped, nil, tb)
 
-				snap := cache.Get(d)
+				snap := cache.Get(d, wWarm)
 				if snap == nil {
 					t.Logf("seed %d: missing snapshot for dest %d", seed, d)
 					return false
@@ -153,10 +153,10 @@ func TestStaticCacheBudget(t *testing.T) {
 		t.Error("Full() = false after rejected admissions")
 	}
 	// First-fit pinning: the first destinations stay, later ones miss.
-	if c.Get(0) == nil {
+	if c.Get(0, w) == nil {
 		t.Error("first admitted entry evicted")
 	}
-	if c.Get(n-1) != nil {
+	if c.Get(n-1, w) != nil {
 		t.Error("rejected destination unexpectedly cached")
 	}
 	// Re-adding a rejected destination still fails: the budget is spoken
@@ -169,7 +169,7 @@ func TestStaticCacheBudget(t *testing.T) {
 // TestStaticCacheNil: a nil cache is a valid always-miss cache.
 func TestStaticCacheNil(t *testing.T) {
 	var c *StaticCache
-	if c.Get(0) != nil {
+	if c.Get(0, nil) != nil {
 		t.Error("nil cache Get != nil")
 	}
 	if c.Add(&Static{}) != nil {
@@ -178,28 +178,211 @@ func TestStaticCacheNil(t *testing.T) {
 	if c.Bytes() != 0 || c.Entries() != 0 || c.Full() {
 		t.Error("nil cache reports non-empty state")
 	}
+	if c.Has(0) || c.Repacked() || c.PackedBytes() != 0 || c.PackedEntries() != 0 || c.Evictions() != 0 {
+		t.Error("nil cache reports packed state")
+	}
 }
 
-// TestSnapshotMemBytes: the accounted snapshot size must dominate the
-// sum of its materialized array footprints, including the lazily built
-// delta index (admission accounts for it up front).
+// TestSnapshotMemBytes: MemBytes counts exactly what is materialized —
+// the accounted size must match the summed array footprints within the
+// fixed header overhead, and lazy materialization must grow it by
+// exactly the bytes the new arrays occupy (that growth is what the
+// cache re-charges at the next lookup).
 func TestSnapshotMemBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := asgraphtest.Random(rng, 24, 0.15, 0.1, 0.25)
 	tb := HashTiebreaker{Seed: 3}
 	w := NewWorkspace(g)
 	s := w.PrepareDest(1, tb)
-	before := s.MemBytes()
-	w.PrepareDelta(s)
-	s.ProviderParents()
-	after := s.MemBytes()
-	if before != after {
-		t.Errorf("MemBytes changed after lazy materialization: %d -> %d (must be accounted up front)", before, after)
-	}
+	base := s.MemBytes()
 	n, tbs, ord := int64(len(s.Type)), int64(len(s.tbAdj)), int64(len(s.order))
-	floor := n + 4*n + 4*(ord+1) + 4*tbs + 4*ord + 4*n + 4*n +
-		4*(n+1) + 4*int64(len(s.revAdj)) + 4*int64(len(s.provParents))
-	if before < floor {
-		t.Errorf("MemBytes = %d below materialized footprint %d", before, floor)
+	floor := n + 4*n + 4*(ord+1) + 4*tbs + 4*ord + 4*n + 4*n
+	if base < floor || base > floor+1024 {
+		t.Errorf("MemBytes = %d, want within [%d, %d] of the measured base arrays", base, floor, floor+1024)
+	}
+	w.PrepareDelta(s)
+	withDelta := s.MemBytes()
+	wantDelta := 4 * int64(len(s.revOff)+len(s.revAdj)+len(s.depPos))
+	if withDelta-base != wantDelta {
+		t.Errorf("delta index grew MemBytes by %d, measured arrays occupy %d", withDelta-base, wantDelta)
+	}
+	s.ProviderParents()
+	withProv := s.MemBytes()
+	wantProv := 4*int64(len(s.provParents)) + 8*int64(len(s.provBits))
+	if withProv-withDelta != wantProv {
+		t.Errorf("provider parents grew MemBytes by %d, measured arrays occupy %d", withProv-withDelta, wantProv)
+	}
+	s.SupportOutgoing(g.ISPs())
+	s.SupportIncoming(g.ISPs())
+	withSup := s.MemBytes()
+	wantSup := 4 * int64(len(s.supOut)+len(s.supIn))
+	if withSup-withProv != wantSup {
+		t.Errorf("support lists grew MemBytes by %d, measured arrays occupy %d", withSup-withProv, wantSup)
+	}
+}
+
+// TestStaticCachePackedRepack: a packed cache starts unpacked, repacks
+// on its first overflow keeping everything resident when the packed
+// set fits, serves bit-exact statics from blobs, and round-trips its
+// contents through ExportPacked/AddBlob (the migration payload path).
+func TestStaticCachePackedRepack(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := asgraphtest.Random(rng, 40, 0.15, 0.1, 0.25)
+	n := int32(g.N())
+	tb := HashTiebreaker{Seed: 31}
+	w := NewWorkspace(g)
+	wRef := NewWorkspace(g)
+
+	var packedTotal, unpackedTotal int64
+	for d := int32(0); d < n; d++ {
+		s := w.PrepareDest(d, tb)
+		packedTotal += int64(len(AppendPacked(nil, s, g)))
+		unpackedTotal += s.MemBytes()
+	}
+	// Sized so the unpacked set overflows but the packed set (with per-
+	// entry overhead) fits comfortably: the overflow must trigger one
+	// repack and zero evictions.
+	budget := 3 * (packedTotal + int64(n)*entryOverhead)
+	if budget >= unpackedTotal {
+		t.Fatalf("graph too small to force repack: packed budget %d >= unpacked %d", budget, unpackedTotal)
+	}
+	c := NewStaticCacheFor(g, budget, true)
+	for d := int32(0); d < n; d++ {
+		c.Add(w.PrepareDest(d, tb))
+	}
+	if !c.Repacked() {
+		t.Fatal("cache never repacked under unpacked overflow")
+	}
+	if c.Entries() != int(n) {
+		t.Fatalf("%d of %d destinations resident after repack", c.Entries(), n)
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("%d evictions despite the packed set fitting", c.Evictions())
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("Bytes() = %d exceeds budget %d after repack", c.Bytes(), budget)
+	}
+	if c.PackedEntries() == 0 || c.PackedBytes() == 0 || c.ArenaBytes() == 0 {
+		t.Fatalf("packed accounting empty after repack: entries %d bytes %d arena %d",
+			c.PackedEntries(), c.PackedBytes(), c.ArenaBytes())
+	}
+	for d := int32(0); d < n; d++ {
+		got := c.Get(d, w)
+		if got == nil {
+			t.Fatalf("dest %d missing after repack", d)
+		}
+		if !staticsEqual(t, wRef.PrepareDest(d, tb), got, n) {
+			t.Fatalf("dest %d decodes differently after repack", d)
+		}
+	}
+
+	// Export feeds a second cache — the shard-handoff path.
+	blobs := c.ExportPacked()
+	if len(blobs) != int(n) {
+		t.Fatalf("ExportPacked returned %d blobs, want %d", len(blobs), n)
+	}
+	c2 := NewStaticCacheFor(g, budget, true)
+	for _, bb := range blobs {
+		d, ok := PackedDest(bb)
+		if !ok {
+			t.Fatal("exported blob has a bad header")
+		}
+		if !c2.AddBlob(d, bb) {
+			t.Fatalf("import rejected dest %d", d)
+		}
+	}
+	for d := int32(0); d < n; d++ {
+		got := c2.Get(d, w)
+		if got == nil || !staticsEqual(t, wRef.PrepareDest(d, tb), got, n) {
+			t.Fatalf("dest %d differs after export/import", d)
+		}
+	}
+
+	// A budget below the packed set forces newest-first eviction, and
+	// the survivors still decode bit-exact.
+	c3 := NewStaticCacheFor(g, budget/6, true)
+	for d := int32(0); d < n; d++ {
+		c3.Add(w.PrepareDest(d, tb))
+	}
+	if c3.Entries() == int(n) {
+		t.Fatal("tiny budget kept every destination")
+	}
+	if c3.Bytes() > budget/6 {
+		t.Fatalf("tiny cache Bytes() = %d exceeds budget %d", c3.Bytes(), budget/6)
+	}
+	served := 0
+	for d := int32(0); d < n; d++ {
+		if got := c3.Get(d, w); got != nil {
+			served++
+			if !staticsEqual(t, wRef.PrepareDest(d, tb), got, n) {
+				t.Fatalf("tiny-cache dest %d differs", d)
+			}
+		}
+	}
+	if served != c3.Entries() {
+		t.Fatalf("served %d but Entries() = %d", served, c3.Entries())
+	}
+}
+
+// TestStaticCacheEvictOnMaterialize: lazy materialization (the delta
+// index built on a cached snapshot) is charged at the next lookup of
+// that destination. An unpacked cache over budget evicts newest-first,
+// sparing the entry being served; a packed cache repacks instead and
+// keeps everything.
+func TestStaticCacheEvictOnMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := asgraphtest.Random(rng, 24, 0.15, 0.1, 0.25)
+	n := int32(g.N())
+	tb := HashTiebreaker{Seed: 37}
+	w := NewWorkspace(g)
+	wRef := NewWorkspace(g)
+	per0 := w.PrepareDest(0, tb).MemBytes()
+	per1 := w.PrepareDest(1, tb).MemBytes()
+	// Room for both base snapshots but not for a delta index on top.
+	budget := per0 + per1 + 2*entryOverhead + 32
+
+	c := NewStaticCache(budget)
+	s0 := c.Add(w.PrepareDest(0, tb))
+	s1 := c.Add(w.PrepareDest(1, tb))
+	if s0 == nil || s1 == nil {
+		t.Fatal("admissions rejected under a budget sized for both")
+	}
+	w.PrepareDelta(s0)
+	got := c.Get(0, w)
+	if got == nil {
+		t.Fatal("in-use destination evicted by its own growth")
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("materialization growth over budget evicted nothing")
+	}
+	if c.Get(1, w) != nil {
+		t.Fatal("newest entry survived the overflow")
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("Bytes() = %d exceeds budget %d after eviction", c.Bytes(), budget)
+	}
+	if !staticsEqual(t, wRef.PrepareDest(0, tb), got, n) {
+		t.Fatal("survivor differs from a cold build after eviction")
+	}
+
+	// Packed: the same overflow repacks instead, and both destinations
+	// stay resident (the packed set fits with room to spare).
+	cp := NewStaticCacheFor(g, budget, true)
+	p0 := cp.Add(w.PrepareDest(0, tb))
+	if cp.Add(w.PrepareDest(1, tb)) == nil || p0 == nil {
+		t.Fatal("packed cache rejected base admissions")
+	}
+	w.PrepareDelta(p0)
+	if got := cp.Get(0, w); got == nil || !staticsEqual(t, wRef.PrepareDest(0, tb), got, n) {
+		t.Fatal("packed cache lost or corrupted the growing destination")
+	}
+	if !cp.Repacked() {
+		t.Fatal("packed cache evaded the overflow without repacking")
+	}
+	if cp.Evictions() != 0 {
+		t.Fatalf("packed cache evicted %d entries despite the packed set fitting", cp.Evictions())
+	}
+	if got := cp.Get(1, w); got == nil || !staticsEqual(t, wRef.PrepareDest(1, tb), got, n) {
+		t.Fatal("packed cache lost the other destination across the repack")
 	}
 }

@@ -203,6 +203,20 @@ type Config struct {
 	// field is excluded from Fingerprint.
 	NoProjectionBatch bool
 
+	// NoPackedStatics disables the packed static cache storage: caches
+	// stay on full unpacked snapshots, overflowing budgets reject
+	// admissions instead of repacking (pre-packing behavior), the
+	// prefetch pipeline always hands over snapshots, and dist shard
+	// migrations ship no warm statics. The zero value — packed on — is
+	// what paper-scale runs want: a repacked cache holds 3–5x more
+	// destinations per byte of budget.
+	//
+	// Purely a performance knob: a decoded packed blob reproduces
+	// PrepareDest's output bit for bit (see routing/packed.go), so
+	// every Result is identical at either setting and the field is
+	// excluded from Fingerprint.
+	NoPackedStatics bool
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.

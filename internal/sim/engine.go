@@ -421,6 +421,8 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		stats.DynCacheEvictions = sum.DynCacheEvictions
 		stats.PrefetchHits = sum.PrefetchHits
 		stats.PrefetchWasted = sum.PrefetchWasted
+		stats.StaticPackedBytes = sum.StaticPackedBytes
+		stats.StaticPackedEntries = sum.StaticPackedEntries
 		stats.ShardWallMax, stats.ShardWallMin, stats.StragglerRatio = shardTiming(partials)
 		// A graph-level shared static store is not owned by any shard;
 		// count it once on top of the per-shard private caches (which
@@ -429,6 +431,8 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 			if shared := s.local.sharedStatics(); shared != nil {
 				stats.StaticCacheBytes += shared.Bytes()
 				stats.StaticCacheEntries += shared.Entries()
+				stats.StaticPackedBytes += shared.PackedBytes()
+				stats.StaticPackedEntries += shared.PackedEntries()
 			}
 		}
 		if cfg.RecordMemStats {
@@ -594,9 +598,9 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 	// possible and run the three-stage BFS only on a miss. On a miss the
 	// fresh snapshot is admitted budget permitting and used directly, so
 	// the lazily built delta index lands on the cached copy.
-	stc := wk.cache.Get(d)
+	stc := wk.cache.Get(d, wk.ws)
 	if stc == nil {
-		stc = wk.shared.Get(d)
+		stc = wk.shared.Get(d, wk.ws)
 	}
 	if stc != nil {
 		wk.stats.staticHits++
@@ -606,19 +610,35 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			wk.stats.prefetchWasted++
 		}
 	} else {
-		// On a miss, prefer the prefetch pipeline's ready-made snapshot
+		// On a miss, prefer the prefetch pipeline's ready-made result
 		// over running the three-stage BFS inline — same bytes either way
 		// (statics depend only on graph and destination), admitted under
-		// the same budget rules by this same consumer.
-		var pre *routing.Static
+		// the same budget rules by this same consumer. Once the cache has
+		// repacked, the pipeline hands over packed blobs instead of full
+		// snapshots; a decoded blob reproduces PrepareDest's output
+		// exactly (see packed.go), so the resolution inputs are identical
+		// in every combination.
+		var pre prefItem
+		havePre := false
 		if wk.pf != nil {
-			pre = wk.pf.take(d)
+			pre, havePre = wk.pf.take(d)
 		}
-		if pre != nil {
-			wk.stats.prefetchHits++
-			stc = pre
-		} else {
+		if havePre && pre.blob != nil {
+			var err error
+			stc, err = wk.ws.DecodePacked(pre.blob)
+			if err != nil {
+				// Pipeline-built blobs can't be corrupt, but the decode
+				// path tolerates it anyway: fall back to the inline build.
+				havePre = false
+			}
+		} else if havePre {
+			stc = pre.snap
+		}
+		if stc == nil {
 			stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
+		}
+		if havePre {
+			wk.stats.prefetchHits++
 		}
 		switch {
 		case wk.shared != nil:
@@ -628,11 +648,18 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			}
 		case wk.cache != nil:
 			wk.stats.staticMisses++
-			if pre != nil {
+			switch {
+			case havePre && pre.blob != nil:
+				// The packed bytes are already built: admit them as-is,
+				// no re-encode.
+				wk.cache.AddBlob(d, pre.blob)
+			case havePre:
 				// Already a self-contained snapshot: admit it as-is.
 				wk.cache.AddOwned(stc)
-			} else if snap := wk.cache.Add(stc); snap != nil {
-				stc = snap
+			default:
+				if snap := wk.cache.Add(stc); snap != nil {
+					stc = snap
+				}
 			}
 		}
 	}

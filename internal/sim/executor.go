@@ -39,28 +39,30 @@ type ShardPartial struct {
 // worker process in distributed mode), so shard imbalance is visible
 // even when network time hides it from the coordinator.
 type ShardStats struct {
-	WallNS             int64
-	StaticHits         int64
-	StaticMisses       int64
-	StaticCacheBytes   int64
-	StaticCacheEntries int64
-	BaseResolutions    int64
-	ProjResolutions    int64
-	ProjUnchanged      int64
-	SkipZeroUtil       int64
-	SkipInsecureDest   int64
-	SkipDestFlip       int64
-	SkipTurnOff        int64
-	SkipTurnOn         int64
-	NodesReused        int64
-	NodesRecomputed    int64
-	DirtyDests         int64
-	CleanDests         int64
-	DynCacheBytes      int64
-	DynCacheEntries    int64
-	DynCacheEvictions  int64
-	PrefetchHits       int64
-	PrefetchWasted     int64
+	WallNS              int64
+	StaticHits          int64
+	StaticMisses        int64
+	StaticCacheBytes    int64
+	StaticCacheEntries  int64
+	BaseResolutions     int64
+	ProjResolutions     int64
+	ProjUnchanged       int64
+	SkipZeroUtil        int64
+	SkipInsecureDest    int64
+	SkipDestFlip        int64
+	SkipTurnOff         int64
+	SkipTurnOn          int64
+	NodesReused         int64
+	NodesRecomputed     int64
+	DirtyDests          int64
+	CleanDests          int64
+	DynCacheBytes       int64
+	DynCacheEntries     int64
+	DynCacheEvictions   int64
+	PrefetchHits        int64
+	PrefetchWasted      int64
+	StaticPackedBytes   int64
+	StaticPackedEntries int64
 }
 
 // add accumulates o into s. WallNS is summed too; callers wanting
@@ -88,6 +90,8 @@ func (s *ShardStats) add(o *ShardStats) {
 	s.DynCacheEvictions += o.DynCacheEvictions
 	s.PrefetchHits += o.PrefetchHits
 	s.PrefetchWasted += o.PrefetchWasted
+	s.StaticPackedBytes += o.StaticPackedBytes
+	s.StaticPackedEntries += o.StaticPackedEntries
 }
 
 // ExecInfo reports executor-level events of one round that are not

@@ -17,6 +17,15 @@ import (
 // order, and resolution only ever reads a Static — so results stay
 // byte-identical with prefetching on or off, at any depth.
 //
+// Once the consumer's cache has repacked (packed storage phase), the
+// pipeline emits packed blobs instead of full snapshots: the consumer
+// decodes the blob into its own workspace and admits the bytes
+// directly, so a paper-scale cold pass stops allocating one ~N·26-byte
+// snapshot per prefetched destination. The consumer decides the format
+// per request (the phase flag rides on req), so the SPSC discipline is
+// untouched and the bytes that reach resolution are identical either
+// way — a decoded blob reproduces PrepareDest's output exactly.
+//
 // The pipeline is a bounded SPSC pair per shard: the worker goroutine
 // is the only sender on req and the only receiver on res, the prefetch
 // goroutine the reverse, and both channels are buffered to the depth —
@@ -29,21 +38,35 @@ type prefetcher struct {
 	ws    *routing.Workspace // goroutine-private; never touched by the consumer
 	tb    routing.Tiebreaker
 
-	req      chan int32           // this round's requested destinations
-	res      chan *routing.Static // finished snapshots, in request order
-	reqQ     []int32              // in-flight destinations, oldest first
+	req      chan prefReq  // this round's requested destinations
+	res      chan prefItem // finished snapshots or blobs, in request order
+	reqQ     []int32       // in-flight destinations, oldest first
 	inflight int
 
-	// pending holds snapshots computed but not yet consumed. It persists
-	// across rounds — statics are state-independent, so a snapshot parked
+	// pending holds results computed but not yet consumed. It persists
+	// across rounds — statics are state-independent, so a result parked
 	// at round end (stop drains the pipeline) serves the same destination
 	// on any later round, including after a shard migration re-adopts the
 	// worker (AddShards).
-	pending map[int32]*routing.Static
+	pending map[int32]prefItem
 
 	// next is the stripe cursor: the next destination topUp will
 	// consider. Reset to the shard id each round.
 	next int32
+}
+
+// prefReq asks the pipeline for destination d, packed or unpacked.
+type prefReq struct {
+	d      int32
+	packed bool
+}
+
+// prefItem is one prefetched destination: exactly one of snap or blob
+// is set, matching the request's format.
+type prefItem struct {
+	d    int32
+	snap *routing.Static
+	blob []byte
 }
 
 // newPrefetcher returns a prefetcher computing up to depth destinations
@@ -53,7 +76,7 @@ func newPrefetcher(g *asgraph.Graph, depth int, tb routing.Tiebreaker) *prefetch
 		depth:   depth,
 		ws:      routing.NewWorkspace(g),
 		tb:      tb,
-		pending: make(map[int32]*routing.Static),
+		pending: make(map[int32]prefItem),
 	}
 }
 
@@ -64,12 +87,17 @@ func newPrefetcher(g *asgraph.Graph, depth int, tb routing.Tiebreaker) *prefetch
 // computation finished (it receives all in-flight results, and the
 // goroutine's final send on res happens after its last workspace use).
 func (pf *prefetcher) start(shard int32) {
-	pf.req = make(chan int32, pf.depth)
-	pf.res = make(chan *routing.Static, pf.depth)
+	pf.req = make(chan prefReq, pf.depth)
+	pf.res = make(chan prefItem, pf.depth)
 	pf.next = shard
-	go func(req chan int32, res chan<- *routing.Static) {
-		for d := range req {
-			res <- pf.ws.PrepareDest(d, pf.tb).Snapshot()
+	go func(req chan prefReq, res chan<- prefItem) {
+		for r := range req {
+			s := pf.ws.PrepareDest(r.d, pf.tb)
+			if r.packed {
+				res <- prefItem{d: r.d, blob: routing.AppendPacked(nil, s, pf.ws.Graph())}
+			} else {
+				res <- prefItem{d: r.d, snap: s.Snapshot()}
+			}
 		}
 	}(pf.req, pf.res)
 }
@@ -81,7 +109,7 @@ func (pf *prefetcher) stop() {
 	for pf.inflight > 0 {
 		s := <-pf.res
 		pf.inflight--
-		pf.pending[s.Dest] = s
+		pf.pending[s.d] = s
 	}
 	pf.reqQ = pf.reqQ[:0]
 }
@@ -91,32 +119,39 @@ func (pf *prefetcher) stop() {
 // holds depth unanswered requests or the stripe is exhausted. Called by
 // the worker before each destination, so the pipeline refills as
 // results are consumed. Never blocks: at most depth requests are
-// outstanding and req is buffered to depth.
+// outstanding and req is buffered to depth. The packed flag is sampled
+// per request from the consumer's own cache layer, and the storage
+// phase only ever advances, so a blob result always meets a cache that
+// accepts blobs. A full packed cache admits nothing more, so its
+// requests go back to snapshot form — the consumer resolves those
+// directly instead of paying an encode the admission would discard.
 func (pf *prefetcher) topUp(wk *worker, n, stride int) {
+	packed := (wk.cache.Repacked() && !wk.cache.Full()) ||
+		(wk.shared.Repacked() && !wk.shared.Full())
 	for pf.inflight < pf.depth && int(pf.next) < n {
 		d := pf.next
 		pf.next += int32(stride)
 		if _, ok := pf.pending[d]; ok {
 			continue
 		}
-		if wk.cache.Get(d) != nil || wk.shared.Get(d) != nil {
+		if wk.cache.Has(d) || wk.shared.Has(d) {
 			continue
 		}
-		pf.req <- d
+		pf.req <- prefReq{d: d, packed: packed}
 		pf.reqQ = append(pf.reqQ, d)
 		pf.inflight++
 	}
 }
 
-// take returns the prefetched snapshot for destination d, or nil if d
-// was never requested. A parked snapshot is returned immediately; an
+// take returns the prefetched result for destination d, or ok=false if
+// d was never requested. A parked result is returned immediately; an
 // in-flight one blocks on the pipeline — results arrive in request
-// order, so everything received before d's snapshot belongs to later
-// stripe positions and is parked in pending.
-func (pf *prefetcher) take(d int32) *routing.Static {
+// order, so everything received before d's belongs to later stripe
+// positions and is parked in pending.
+func (pf *prefetcher) take(d int32) (prefItem, bool) {
 	if s, ok := pf.pending[d]; ok {
 		delete(pf.pending, d)
-		return s
+		return s, true
 	}
 	requested := false
 	for _, r := range pf.reqQ {
@@ -126,22 +161,22 @@ func (pf *prefetcher) take(d int32) *routing.Static {
 		}
 	}
 	if !requested {
-		return nil
+		return prefItem{}, false
 	}
 	for {
 		s := <-pf.res
 		pf.inflight--
 		pf.reqQ = pf.reqQ[1:]
-		if s.Dest == d {
-			return s
+		if s.d == d {
+			return s, true
 		}
-		pf.pending[s.Dest] = s
+		pf.pending[s.d] = s
 	}
 }
 
-// discard drops a parked snapshot for a destination the cache served
+// discard drops a parked result for a destination the cache served
 // after all (a concurrent worker published it to a shared store between
-// topUp and processing). It reports whether a prefetched snapshot was
+// topUp and processing). It reports whether a prefetched result was
 // actually wasted.
 func (pf *prefetcher) discard(d int32) bool {
 	if _, ok := pf.pending[d]; ok {

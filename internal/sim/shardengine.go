@@ -155,7 +155,7 @@ func (e *ShardEngine) AddShards(ids []int) error {
 			if e.cfg.SharedStatics != nil {
 				wk.shared = e.cfg.SharedStatics
 			} else if e.staticBudget > 0 {
-				wk.cache = routing.NewStaticCache(e.staticBudget)
+				wk.cache = routing.NewStaticCacheFor(e.g, e.staticBudget, !e.cfg.NoPackedStatics)
 			}
 			if e.cfg.StaticPrefetch > 0 {
 				wk.pf = newPrefetcher(e.g, e.cfg.StaticPrefetch, e.cfg.Tiebreaker)
@@ -200,6 +200,63 @@ func (e *ShardEngine) RemoveShards(ids []int) error {
 		e.wall = append(e.wall[:found], e.wall[found+1:]...)
 	}
 	return nil
+}
+
+// ExportStatics returns the packed static cache contents of the given
+// retired shards, in admission order, as self-describing blobs (see
+// routing/packed.go) — the warm-handoff payload a rebalancing migration
+// ships alongside the shard ids so the receiving process starts warm
+// instead of recomputing every static from scratch. Shards not in the
+// retired pool (never owned here) and workers without a private cache
+// contribute nothing; with Config.NoPackedStatics set the result is
+// always empty and migrations stay cold, as before packing existed.
+func (e *ShardEngine) ExportStatics(ids []int) [][]byte {
+	if e.cfg.NoPackedStatics {
+		return nil
+	}
+	var blobs [][]byte
+	for _, s := range ids {
+		if wk := e.retired[s]; wk != nil {
+			blobs = append(blobs, wk.cache.ExportPacked()...)
+		}
+	}
+	return blobs
+}
+
+// ImportStatics warms the engine with packed statics exported by
+// another engine (ExportStatics on the migration source). Each blob is
+// routed to the owner of its destination's shard and validated by a
+// full decode before admission — the bytes arrived over the wire, so a
+// corrupt or mismatched blob is skipped, never trusted. Blobs for
+// unowned shards, duplicate destinations, or beyond the cache budget
+// are dropped silently: imported statics are purely a warm start, and
+// recomputing a dropped one is always bit-identical (Observation C.1).
+// With Config.NoPackedStatics set, every blob is ignored.
+func (e *ShardEngine) ImportStatics(blobs [][]byte) {
+	if e.cfg.NoPackedStatics || len(blobs) == 0 {
+		return
+	}
+	for _, blob := range blobs {
+		d, ok := routing.PackedDest(blob)
+		if !ok || int(d) >= e.g.N() {
+			continue
+		}
+		shard := int(d) % e.total
+		for i, s := range e.shards {
+			if s != shard {
+				continue
+			}
+			wk := e.pool[i]
+			if wk.cache == nil || wk.cache.Has(d) {
+				break
+			}
+			if _, err := wk.ws.DecodePacked(blob); err != nil {
+				break
+			}
+			wk.cache.AddBlob(d, blob)
+			break
+		}
+	}
 }
 
 // shardOrder sorts an engine's shard list and pool in lockstep.
@@ -309,28 +366,30 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 			UBase:  wk.uBase,
 			UDelta: wk.uDelta,
 			Stats: ShardStats{
-				WallNS:             int64(e.wall[i]),
-				StaticHits:         wk.stats.staticHits,
-				StaticMisses:       wk.stats.staticMisses,
-				StaticCacheBytes:   wk.cache.Bytes(),
-				StaticCacheEntries: int64(wk.cache.Entries()),
-				BaseResolutions:    wk.stats.baseResolutions,
-				ProjResolutions:    wk.stats.projResolutions,
-				ProjUnchanged:      wk.stats.projUnchanged,
-				SkipZeroUtil:       wk.stats.skipZeroUtil,
-				SkipInsecureDest:   wk.stats.skipInsecureDest,
-				SkipDestFlip:       wk.stats.skipDestFlip,
-				SkipTurnOff:        wk.stats.skipTurnOff,
-				SkipTurnOn:         wk.stats.skipTurnOn,
-				NodesReused:        wk.stats.nodesReused,
-				NodesRecomputed:    wk.stats.nodesRecomputed,
-				DirtyDests:         wk.stats.dynDirty,
-				CleanDests:         wk.stats.dynClean,
-				DynCacheBytes:      wk.dyn.bytesTotal(),
-				DynCacheEntries:    int64(wk.dyn.entryCount()),
-				DynCacheEvictions:  wk.dyn.evicted(),
-				PrefetchHits:       wk.stats.prefetchHits,
-				PrefetchWasted:     wk.stats.prefetchWasted,
+				WallNS:              int64(e.wall[i]),
+				StaticHits:          wk.stats.staticHits,
+				StaticMisses:        wk.stats.staticMisses,
+				StaticCacheBytes:    wk.cache.Bytes(),
+				StaticCacheEntries:  int64(wk.cache.Entries()),
+				BaseResolutions:     wk.stats.baseResolutions,
+				ProjResolutions:     wk.stats.projResolutions,
+				ProjUnchanged:       wk.stats.projUnchanged,
+				SkipZeroUtil:        wk.stats.skipZeroUtil,
+				SkipInsecureDest:    wk.stats.skipInsecureDest,
+				SkipDestFlip:        wk.stats.skipDestFlip,
+				SkipTurnOff:         wk.stats.skipTurnOff,
+				SkipTurnOn:          wk.stats.skipTurnOn,
+				NodesReused:         wk.stats.nodesReused,
+				NodesRecomputed:     wk.stats.nodesRecomputed,
+				DirtyDests:          wk.stats.dynDirty,
+				CleanDests:          wk.stats.dynClean,
+				DynCacheBytes:       wk.dyn.bytesTotal(),
+				DynCacheEntries:     int64(wk.dyn.entryCount()),
+				DynCacheEvictions:   wk.dyn.evicted(),
+				PrefetchHits:        wk.stats.prefetchHits,
+				PrefetchWasted:      wk.stats.prefetchWasted,
+				StaticPackedBytes:   wk.cache.PackedBytes(),
+				StaticPackedEntries: wk.cache.PackedEntries(),
 			},
 		}
 		out = append(out, p)

@@ -96,6 +96,13 @@ type RoundStats struct {
 	// Both stay zero with prefetching disabled.
 	PrefetchHits   int64
 	PrefetchWasted int64
+	// StaticPackedEntries/StaticPackedBytes count the cache entries held
+	// in packed form and the blob bytes they occupy (a subset of
+	// StaticCacheEntries/StaticCacheBytes; see routing/packed.go). Both
+	// stay zero until a cache overflows its budget and repacks, and with
+	// Config.NoPackedStatics set.
+	StaticPackedEntries int64
+	StaticPackedBytes   int64
 	// ShardWallMax and ShardWallMin are the slowest and fastest logical
 	// shard's compute wall time this round, measured where the shard ran
 	// (on the worker process, in distributed mode — network and merge
@@ -151,6 +158,9 @@ func (st *RoundStats) String() string {
 		st.AllocBytes)
 	if st.PrefetchHits > 0 || st.PrefetchWasted > 0 {
 		out += fmt.Sprintf(", prefetch %d hit (%d wasted)", st.PrefetchHits, st.PrefetchWasted)
+	}
+	if st.StaticPackedEntries > 0 {
+		out += fmt.Sprintf(", packed %d entries %dB", st.StaticPackedEntries, st.StaticPackedBytes)
 	}
 	if st.WorkersLost > 0 || st.ShardsReassigned > 0 {
 		out += fmt.Sprintf(", lost %d workers (%d shards reassigned)", st.WorkersLost, st.ShardsReassigned)

@@ -8,6 +8,7 @@
 //	benchjson [-bench Round] [-benchtime 5x] [-label pr3] \
 //	          [-o BENCH.json] [packages...]
 //	benchjson -diff OLD.json NEW.json
+//	benchjson -trajectory [BENCH_pr3.json BENCH_pr4.json ...]
 //
 // Packages default to ./internal/sim. Fixed iteration counts
 // (-benchtime Nx) make reruns comparable: every sample measures the
@@ -19,7 +20,10 @@
 // benchmark neighbors. The -diff
 // mode compares two emitted files benchmark by benchmark — ns/op,
 // B/op, allocs/op with relative deltas — so the committed BENCH_*
-// trajectory audits itself.
+// trajectory audits itself. The -trajectory mode folds every committed
+// BENCH_pr*.json (or the files given explicitly) into one
+// per-benchmark time-series table — ns/op per revision, ordered by PR
+// number — so the whole optimization arc reads off a single screen.
 package main
 
 import (
@@ -30,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -75,8 +81,24 @@ func run() int {
 		out       = flag.String("o", "", "output file (default stdout)")
 		isolate   = flag.Bool("isolate", true, "run each matched benchmark in its own go test process (one benchmark's heap cannot distort another's timing)")
 		diffMode  = flag.Bool("diff", false, "compare two emitted JSON files: benchjson -diff OLD NEW")
+		trajMode  = flag.Bool("trajectory", false, "merge emitted JSON files (default glob BENCH_pr*.json) into one per-benchmark time-series table")
 	)
 	flag.Parse()
+	if *trajMode {
+		files := flag.Args()
+		if len(files) == 0 {
+			var err error
+			if files, err = filepath.Glob("BENCH_pr*.json"); err != nil || len(files) == 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -trajectory found no BENCH_pr*.json files (pass them explicitly)")
+				return 2
+			}
+		}
+		if err := trajectory(os.Stdout, files); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 1
+		}
+		return 0
+	}
 	if *diffMode {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two files: benchjson -diff OLD NEW")
@@ -229,6 +251,101 @@ func diff(w *os.File, oldPath, newPath string) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// trajectory merges the given emitted files into one table: a row per
+// benchmark (union, in first-appearance order), a column per file
+// (sorted by the PR number in the file name, then lexically), ns/op in
+// the cells, and a final column with the overall first → last change.
+func trajectory(w *os.File, files []string) error {
+	sort.SliceStable(files, func(i, j int) bool {
+		a, aok := prNumber(files[i])
+		b, bok := prNumber(files[j])
+		if aok && bok && a != b {
+			return a < b
+		}
+		if aok != bok {
+			return aok // numbered files before unnumbered ones
+		}
+		return files[i] < files[j]
+	})
+
+	type column struct {
+		label string
+		by    map[string]Benchmark
+	}
+	var cols []column
+	var order []string // benchmark keys in first-appearance order
+	names := map[string]string{}
+	seen := map[string]bool{}
+	for _, path := range files {
+		f, err := load(path)
+		if err != nil {
+			return err
+		}
+		label := f.Label
+		if label == "" {
+			label = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		by := make(map[string]Benchmark, len(f.Benchmarks))
+		for _, b := range f.Benchmarks {
+			k := b.Pkg + "." + b.Name
+			by[k] = b
+			if !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+				names[k] = b.Name
+			}
+		}
+		cols = append(cols, column{label: label, by: by})
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "benchmark")
+	for _, c := range cols {
+		fmt.Fprintf(tw, "\tns/op %s", c.label)
+	}
+	fmt.Fprint(tw, "\tΔ first→last\t\n")
+	for _, k := range order {
+		fmt.Fprint(tw, names[k])
+		var first, last float64
+		haveFirst := false
+		for _, c := range cols {
+			b, ok := c.by[k]
+			if !ok {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.0f", b.NsPerOp)
+			if !haveFirst {
+				first, haveFirst = b.NsPerOp, true
+			}
+			last = b.NsPerOp
+		}
+		if haveFirst {
+			fmt.Fprintf(tw, "\t%s\t\n", relDelta(first, last))
+		} else {
+			fmt.Fprint(tw, "\t-\t\n")
+		}
+	}
+	return tw.Flush()
+}
+
+// prNumber extracts the revision number of a BENCH_prN*.json file name
+// (the first digit run, so variant files like BENCH_pr3-engine.json
+// sort with their revision).
+func prNumber(path string) (int, bool) {
+	base := filepath.Base(path)
+	i := strings.IndexFunc(base, func(r rune) bool { return r >= '0' && r <= '9' })
+	if i < 0 {
+		return 0, false
+	}
+	j := i
+	for j < len(base) && base[j] >= '0' && base[j] <= '9' {
+		j++
+	}
+	n, err := strconv.Atoi(base[i:j])
+	return n, err == nil
 }
 
 // relDelta formats the relative change old → new as a signed percentage.

@@ -26,6 +26,7 @@ import (
 	"sbgp/internal/dist"
 	"sbgp/internal/experiments"
 	"sbgp/internal/profiling"
+	"sbgp/internal/routing"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func run() int {
 		staticCache = flag.Int64("static-cache", 0, "per-simulation static routing cache budget in bytes (0 = engine default, negative = disable)")
 		dynCache    = flag.Int64("dyn-cache", 0, "per-simulation dynamic contribution cache budget in bytes (0 = engine default, negative = disable)")
 		prefetch    = flag.Int("prefetch", 0, "per-shard static prefetch pipeline depth (0 = off; bit-identical results)")
+		staticStore = flag.String("static-store", "", "persistent packed-static disk tier directory (default <out>/cache/statics with -out; 'off' disables; bit-identical results)")
 		packedStat  = flag.Bool("packed-statics", true, "pack overflowing static caches 3-5x denser (bit-identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -66,6 +68,9 @@ func run() int {
 		return 2
 	}
 	defer stop()
+	// Flush the disk tier's index before exit so the next run opens it
+	// without a tail scan (the data itself is durable regardless).
+	defer routing.CloseSharedDiskStores()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -92,7 +97,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch, NoPackedStatics: !*packedStat},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch, StaticStoreDir: *staticStore, NoPackedStatics: !*packedStat},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

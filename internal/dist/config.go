@@ -9,17 +9,26 @@ import (
 
 // Config wire codec. A worker's ShardEngine reads exactly these Config
 // fields: Model, StubsBreakTies, ProjectStubUpgrades, NoProjectionBatch,
-// NoPackedStatics, Tiebreaker, the two cache budgets and the static
-// prefetch depth — so exactly these travel. Decision-side
-// fields (Theta*, EarlyAdopters, MaxRounds) stay with the coordinator,
-// which is the only party applying update rule (3); Workers is
-// superseded by the explicit shard assignment in the hello frame; and
-// SharedStatics/Executor cannot cross a process boundary by
-// construction. If ShardEngine ever grows a new Config dependency it
-// must be added here, or distributed runs would silently diverge —
-// which the differential tests in dist_test.go exist to catch.
+// NoPackedStatics, Tiebreaker, the two cache budgets, the static
+// prefetch depth and the static disk-store root — so exactly these
+// travel. Decision-side fields (Theta*, EarlyAdopters, MaxRounds) stay
+// with the coordinator, which is the only party applying update rule
+// (3); Workers is superseded by the explicit shard assignment in the
+// hello frame; and SharedStatics/Executor cannot cross a process
+// boundary by construction. If ShardEngine ever grows a new Config
+// dependency it must be added here, or distributed runs would silently
+// diverge — which the differential tests in dist_test.go exist to
+// catch.
+//
+// StaticStoreDir ships as a path string that each worker resolves
+// against its own filesystem: local fork-exec workers share the
+// coordinator's disk and see one store, TCP workers open (or create)
+// their own local store under the same path, and a worker that cannot
+// use the path at all silently runs without the tier — all of which
+// produce identical bits, since the disk tier is validated-or-recompute
+// by construction.
 
-const configWireVersion = 4
+const configWireVersion = 5
 
 // encodeConfig renders the engine-relevant Config fields.
 func encodeConfig(cfg sim.Config) ([]byte, error) {
@@ -51,6 +60,7 @@ func encodeConfig(cfg sim.Config) ([]byte, error) {
 	e.i64(cfg.StaticCacheBytes)
 	e.i64(cfg.DynamicCacheBytes)
 	e.i64(int64(cfg.StaticPrefetch))
+	e.bytes([]byte(cfg.StaticStoreDir))
 	e.bytes(tbw)
 	return e.b, nil
 }
@@ -71,6 +81,7 @@ func decodeConfig(p []byte) (sim.Config, error) {
 	cfg.StaticCacheBytes = d.i64()
 	cfg.DynamicCacheBytes = d.i64()
 	cfg.StaticPrefetch = int(d.i64())
+	cfg.StaticStoreDir = string(d.bytes())
 	tbw := d.bytes()
 	if err := d.done(); err != nil {
 		return cfg, err

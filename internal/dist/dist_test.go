@@ -37,6 +37,7 @@ func testGraph(tb testing.TB, n int, seed int64) (*asgraph.Graph, []int32) {
 // everything else must be byte-identical.
 func serialize(tb testing.TB, res *sim.Result) []byte {
 	tb.Helper()
+	res.PristineStats = nil
 	for i := range res.Rounds {
 		res.Rounds[i].Stats = nil
 	}

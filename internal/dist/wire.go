@@ -41,8 +41,9 @@ import (
 // NoProjectionBatch config flag. v3 added the shard-statics frame
 // (packed warm-handoff payload for migrations — workers answer every
 // drop with one), two packed-cache stats fields, and the
-// NoPackedStatics config flag.
-const protoVersion = 3
+// NoPackedStatics config flag. v4 added the StaticStoreDir config
+// field and three disk-tier stats fields.
+const protoVersion = 4
 
 // Frame types. Direction is fixed per type: the coordinator sends
 // hello/snapshot/round/assign/recompute/drop/bye, workers send
@@ -533,7 +534,7 @@ func decodeRecompute(p []byte, into *recomputeMsg) error {
 }
 
 // statsWireFields is the fixed field count of a ShardStats block.
-const statsWireFields = 24
+const statsWireFields = 27
 
 func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.WallNS)
@@ -560,6 +561,9 @@ func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.PrefetchWasted)
 	e.i64(s.StaticPackedBytes)
 	e.i64(s.StaticPackedEntries)
+	e.i64(s.StaticDiskHits)
+	e.i64(s.StaticDiskBytesRead)
+	e.i64(s.StaticDiskWrites)
 }
 
 func decodeStats(d *dec, s *sim.ShardStats) {
@@ -587,6 +591,9 @@ func decodeStats(d *dec, s *sim.ShardStats) {
 	s.PrefetchWasted = d.i64()
 	s.StaticPackedBytes = d.i64()
 	s.StaticPackedEntries = d.i64()
+	s.StaticDiskHits = d.i64()
+	s.StaticDiskBytesRead = d.i64()
+	s.StaticDiskWrites = d.i64()
 }
 
 // partialsMsg returns one or more logical shards' partial sums for a

@@ -67,6 +67,7 @@ func resultBytes(t *testing.T, res *sim.Result) []byte {
 	// Stats carry wall-clock timings that legitimately differ run to
 	// run; strip them (on a copy of the rounds) before comparing.
 	cp := *res
+	cp.PristineStats = nil
 	cp.Rounds = append([]sim.Round(nil), res.Rounds...)
 	for i := range cp.Rounds {
 		cp.Rounds[i].Stats = nil

@@ -56,6 +56,11 @@ type Options struct {
 	// pipeline depth (sim.Config.StaticPrefetch; 0 = off). Performance
 	// knob only — results are bit-identical for every depth.
 	StaticPrefetch int
+	// StaticStoreDir, when non-empty, persists packed static snapshots
+	// under this directory (sim.Config.StaticStoreDir) so reruns skip
+	// the per-destination static BFS entirely. Performance knob only —
+	// results are bit-identical with the tier on, off, cold or warm.
+	StaticStoreDir string
 	// DistWorkers, when positive, runs every simulation over that many
 	// fork-exec'd local worker processes (see internal/dist and
 	// Store.DistWorkers). Placement knob only — bit-identical results.
@@ -102,6 +107,7 @@ func (o Options) withDefaults() Options {
 		o.store.StaticCacheBytes = o.StaticCacheBytes
 		o.store.DynamicCacheBytes = o.DynamicCacheBytes
 		o.store.StaticPrefetch = o.StaticPrefetch
+		o.store.StaticStoreDir = o.StaticStoreDir
 		o.store.NoPackedStatics = o.NoPackedStatics
 		o.store.DistWorkers = o.DistWorkers
 		o.store.Rebalance = o.Rebalance

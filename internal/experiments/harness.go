@@ -23,6 +23,9 @@ import (
 //	status/<id>.json    completion marker keyed by options fingerprint
 //	cache/graphs/*.txt  content-keyed generated graphs
 //	cache/sims/*.json   content-keyed simulation results
+//	cache/statics/      persistent packed static snapshots, one
+//	                    statics-v1-<key> dir per (graph, tiebreaker)
+//	                    (routing.StaticDiskStore; Options.StaticStoreDir)
 //
 // All files are written atomically (temp + rename), so after a crash
 // every file present is complete and the next invocation resumes from
@@ -126,6 +129,18 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 	store.StaticCacheBytes = opt.StaticCacheBytes
 	store.DynamicCacheBytes = opt.DynamicCacheBytes
 	store.StaticPrefetch = opt.StaticPrefetch
+	// Persistent disk tier for packed statics: defaults to a directory
+	// inside the batch cache, so a rerun (or resumed crash) skips every
+	// static BFS the previous run already paid. "off" opts out; an
+	// explicit path works with or without an OutDir.
+	switch {
+	case opt.StaticStoreDir == "off":
+		store.StaticStoreDir = ""
+	case opt.StaticStoreDir == "" && cacheDir != "":
+		store.StaticStoreDir = filepath.Join(cacheDir, "statics")
+	default:
+		store.StaticStoreDir = opt.StaticStoreDir
+	}
 	store.NoPackedStatics = opt.NoPackedStatics
 	store.DistWorkers = opt.DistWorkers
 	store.Rebalance = opt.Rebalance

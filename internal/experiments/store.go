@@ -59,6 +59,14 @@ type Store struct {
 	// the store; 0 leaves prefetching off. Also excluded from
 	// Config.Fingerprint, also bit-identical at any depth.
 	StaticPrefetch int
+	// StaticStoreDir, when non-empty, gives every simulation executed
+	// through the store a persistent on-disk static snapshot tier
+	// (sim.Config.StaticStoreDir): each distinct (graph, tiebreaker)
+	// pays its static BFS sweep once ever, across runs sharing the
+	// directory. Performance knob only — the tier is validated-or-
+	// recompute by construction, so Results and cache keys are
+	// unaffected. Set it before the first Sim call.
+	StaticStoreDir string
 	// DistWorkers, when positive, executes every simulation over that
 	// many fork-exec'd local worker processes (internal/dist) instead of
 	// in-process goroutines. The process binary must call
@@ -278,6 +286,9 @@ func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, erro
 	}
 	if s.StaticPrefetch > 0 {
 		cfg.StaticPrefetch = s.StaticPrefetch
+	}
+	if s.StaticStoreDir != "" {
+		cfg.StaticStoreDir = s.StaticStoreDir
 	}
 	if s.NoPackedStatics {
 		cfg.NoPackedStatics = true

@@ -1,0 +1,453 @@
+package routing
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/asgraph/asgraphtest"
+)
+
+// diskTestSetup builds a small graph, its reference blobs, and an empty
+// store root. The graph is kept small so the corruption sweeps (one
+// open per mutated byte) stay fast.
+func diskTestSetup(t *testing.T, nNodes int, seed int64) (g *asgraph.Graph, tb HashTiebreaker, blobs [][]byte, root string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gg := asgraphtest.Random(rng, nNodes, 0.15, 0.1, 0.25)
+	tb = HashTiebreaker{Seed: uint64(seed)}
+	w := NewWorkspace(gg)
+	blobs = make([][]byte, gg.N())
+	for d := int32(0); d < int32(gg.N()); d++ {
+		blobs[d] = AppendPacked(nil, w.PrepareDest(d, tb), gg)
+	}
+	return gg, tb, blobs, t.TempDir()
+}
+
+// populate fills a fresh store instance with every destination's blob
+// and closes it, returning the keyed directory.
+func populate(t *testing.T, root string, g *asgraph.Graph, tb Tiebreaker, blobs [][]byte) string {
+	t.Helper()
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, blob := range blobs {
+		if !st.Put(int32(d), blob) {
+			t.Fatalf("dest %d: Put refused", d)
+		}
+	}
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDiskStoreRoundTrip: blobs survive Put/Close/Open/Lookup
+// byte-for-byte, whether the reopen goes through the index snapshot or
+// a raw segment scan.
+func TestDiskStoreRoundTrip(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 24, 31)
+	dir := populate(t, root, g, tb, blobs)
+
+	check := func(label string) {
+		t.Helper()
+		st, err := OpenStaticDiskStore(root, g, tb)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		defer st.Close()
+		if st.Entries() != len(blobs) {
+			t.Fatalf("%s: %d entries, want %d", label, st.Entries(), len(blobs))
+		}
+		w := NewWorkspace(g)
+		for d, want := range blobs {
+			got := st.Lookup(int32(d))
+			if string(got) != string(want) {
+				t.Fatalf("%s: dest %d: blob differs (%d vs %d bytes)", label, d, len(got), len(want))
+			}
+			if _, err := w.DecodePacked(got); err != nil {
+				t.Fatalf("%s: dest %d: decode failed: %v", label, d, err)
+			}
+		}
+	}
+	check("indexed open")
+
+	if err := os.Remove(filepath.Join(dir, "index.bin")); err != nil {
+		t.Fatal(err)
+	}
+	check("scan open")
+}
+
+// TestDiskStoreCorruptionSweep mirrors TestPackedCorruptBlob one layer
+// up: every single-byte flip and every truncation of the segment file
+// must leave the store serving only byte-exact blobs — a mutated
+// record either disappears (Lookup nil → the caller recomputes) or is
+// indistinguishable from the original. The same sweep runs over
+// index.bin, which must never make wrong records visible either.
+func TestDiskStoreCorruptionSweep(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 10, 37)
+	dir := populate(t, root, g, tb, blobs)
+
+	segName := ""
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if n := e.Name(); len(n) > 4 && n[:4] == "seg-" {
+			segName = n
+		}
+	}
+	if segName == "" {
+		t.Fatal("no segment file written")
+	}
+	segPath := filepath.Join(dir, segName)
+	idxPath := filepath.Join(dir, "index.bin")
+	segBytes, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxBytes, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// sweep opens the store against a mutated file and asserts every
+	// surviving Lookup is byte-exact; missing records are fine.
+	sweep := func(path string, mutated []byte, what string, at int) {
+		t.Helper()
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := OpenStaticDiskStore(root, g, tb)
+		if err != nil {
+			t.Fatalf("%s at %d: open failed: %v", what, at, err)
+		}
+		for d, want := range blobs {
+			got := st.Lookup(int32(d))
+			if got != nil && string(got) != string(want) {
+				t.Fatalf("%s at %d: dest %d served %d wrong bytes", what, at, d, len(got))
+			}
+		}
+		st.Close()
+	}
+
+	// Segment sweep: flips and truncations. index.bin is removed so the
+	// mutated bytes themselves are what the open validates.
+	if err := os.Remove(idxPath); err != nil {
+		t.Fatal(err)
+	}
+	for at := 0; at < len(segBytes); at++ {
+		mutated := append([]byte(nil), segBytes...)
+		mutated[at] ^= 0xFF
+		sweep(segPath, mutated, "seg flip", at)
+		sweep(segPath, segBytes[:at], "seg truncation", at)
+	}
+	if err := os.WriteFile(segPath, segBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Index sweep against the pristine segment: a lying index must not
+	// surface wrong bytes (flips that survive its CRC are bounded by
+	// the per-record CRCs and the segment's own contents).
+	for at := 0; at < len(idxBytes); at++ {
+		mutated := append([]byte(nil), idxBytes...)
+		mutated[at] ^= 0xFF
+		sweep(idxPath, mutated, "index flip", at)
+		sweep(idxPath, idxBytes[:at], "index truncation", at)
+	}
+
+	// After all that: pristine files serve everything again.
+	if err := os.WriteFile(idxPath, idxBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for d, want := range blobs {
+		if got := st.Lookup(int32(d)); string(got) != string(want) {
+			t.Fatalf("dest %d lost after sweep", d)
+		}
+	}
+}
+
+// TestDiskStoreTornTail: a partial trailing record (crash mid-append)
+// is invisible, earlier records still serve, and the next instance
+// appends past it without mutating the torn file.
+func TestDiskStoreTornTail(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 16, 41)
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(blobs) / 2
+	for d := 0; d < half; d++ {
+		st.Put(int32(d), blobs[d])
+	}
+	dir := st.Dir()
+	st.Close()
+	if err := os.Remove(filepath.Join(dir, "index.bin")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear: append a header that promises more bytes than exist.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x53, 0x42, 0x53, 0x31, 0, 0, 0, 0, 0xFF, 0xFF, 0, 0} // magic, dest 0, huge len, no blob
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for d := 0; d < half; d++ {
+		if got := st2.Lookup(int32(d)); string(got) != string(blobs[d]) {
+			t.Fatalf("dest %d lost behind torn tail", d)
+		}
+	}
+	// The rest writes into a fresh segment and round-trips.
+	for d := half; d < len(blobs); d++ {
+		if !st2.Put(int32(d), blobs[d]) {
+			t.Fatalf("dest %d: repair Put refused", d)
+		}
+	}
+	for d, want := range blobs {
+		if got := st2.Lookup(int32(d)); string(got) != string(want) {
+			t.Fatalf("dest %d wrong after repair", d)
+		}
+	}
+}
+
+// TestDiskStoreDropRepair: a record whose blob bytes rot in place fails
+// its CRC, disappears, and a fresh Put supersedes it via last-wins.
+func TestDiskStoreDropRepair(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 12, 43)
+	dir := populate(t, root, g, tb, blobs)
+	if err := os.Remove(filepath.Join(dir, "index.bin")); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rot one byte inside the first record's blob (header is 16 bytes).
+	raw[16+len(blobs[0])/2] ^= 0xFF
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Lookup(0); got != nil {
+		t.Fatalf("rotted record served %d bytes", len(got))
+	}
+	if !st.Put(0, blobs[0]) {
+		t.Fatal("repair Put refused")
+	}
+	if got := st.Lookup(0); string(got) != string(blobs[0]) {
+		t.Fatal("repaired record wrong")
+	}
+	st.Close()
+
+	// The repair wins over the rot on the next open too.
+	st2, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Lookup(0); string(got) != string(blobs[0]) {
+		t.Fatal("repair did not survive reopen")
+	}
+}
+
+// TestDiskStoreMeta: corrupt meta restarts the store empty (existing
+// segments ignored) and heals; a well-formed meta for a different
+// binding refuses to open.
+func TestDiskStoreMeta(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 12, 47)
+	dir := populate(t, root, g, tb, blobs)
+	metaPath := filepath.Join(dir, "meta.json")
+
+	// Corrupt meta: open succeeds, sees nothing, rewrites meta.
+	if err := os.WriteFile(metaPath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatalf("corrupt meta should heal, got %v", err)
+	}
+	if st.Entries() != 0 {
+		t.Fatalf("untrusted dir served %d entries, want 0", st.Entries())
+	}
+	if st.Lookup(0) != nil {
+		t.Fatal("untrusted dir served a blob")
+	}
+	st.Close()
+
+	// Healed: but the old segments stay ignored even now (they predate
+	// the meta rewrite). A fresh populate works.
+	st2, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Put(3, blobs[3])
+	if got := st2.Lookup(3); string(got) != string(blobs[3]) {
+		t.Fatal("heal round-trip failed")
+	}
+	st2.Close()
+
+	// Well-formed mismatch: refuse.
+	if err := os.WriteFile(metaPath, []byte(`{"graph":"deadbeef","tiebreaker":"00","nodes":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStaticDiskStore(root, g, tb); err == nil {
+		t.Fatal("mismatched meta should refuse to open")
+	}
+}
+
+// TestDiskStoreConcurrent: two instances on one directory, hammered by
+// concurrent writers and readers (run under -race), then a third
+// instance sees the union.
+func TestDiskStoreConcurrent(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 48, 53)
+	a, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := a
+			if w%2 == 1 {
+				st = b
+			}
+			for d := w; d < len(blobs); d += 4 {
+				st.Put(int32(d), blobs[d])
+				if got := st.Lookup(int32(d)); got != nil && string(got) != string(blobs[d]) {
+					t.Errorf("writer %d: dest %d wrong bytes", w, d)
+				}
+			}
+			// Read everything, including the other workers' territory.
+			for d, want := range blobs {
+				if got := st.Lookup(int32(d)); got != nil && string(got) != string(want) {
+					t.Errorf("writer %d: dest %d read wrong bytes", w, d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	a.Close()
+	b.Close()
+
+	c, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Entries() != len(blobs) {
+		t.Fatalf("union has %d entries, want %d", c.Entries(), len(blobs))
+	}
+	for d, want := range blobs {
+		if got := c.Lookup(int32(d)); string(got) != string(want) {
+			t.Fatalf("union dest %d wrong", d)
+		}
+	}
+}
+
+// TestDiskStoreSharedRegistry: SharedStaticDiskStore memoizes per
+// (root, graph, tiebreaker) and CloseSharedDiskStores simulates a
+// restart — the reopened instance serves what the first one wrote.
+func TestDiskStoreSharedRegistry(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 12, 59)
+	st, err := SharedStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SharedStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != again {
+		t.Fatal("same triple returned distinct instances")
+	}
+	st.Put(1, blobs[1])
+	CloseSharedDiskStores()
+	if st.Lookup(1) != nil {
+		t.Fatal("closed store still serves")
+	}
+
+	st2, err := SharedStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 == st {
+		t.Fatal("restart returned the closed instance")
+	}
+	if got := st2.Lookup(1); string(got) != string(blobs[1]) {
+		t.Fatal("restart lost the record")
+	}
+	CloseSharedDiskStores()
+}
+
+// TestDiskStorePutStatic: the encode path round-trips through a real
+// Static and skips destinations already present.
+func TestDiskStorePutStatic(t *testing.T) {
+	g, tb, blobs, root := diskTestSetup(t, 12, 61)
+	st, err := OpenStaticDiskStore(root, g, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	w := NewWorkspace(g)
+	s := w.PrepareDest(4, tb)
+	if !st.PutStatic(s) {
+		t.Fatal("PutStatic refused")
+	}
+	if st.PutStatic(s) {
+		t.Fatal("duplicate PutStatic wrote")
+	}
+	if got := st.Lookup(4); string(got) != string(blobs[4]) {
+		t.Fatal("PutStatic blob differs from AppendPacked reference")
+	}
+}
+
+// TestDiskStoreNilSafety: every method is a no-op on a nil store.
+func TestDiskStoreNilSafety(t *testing.T) {
+	var st *StaticDiskStore
+	if st.Lookup(0) != nil || st.Has(0) || st.Put(0, []byte{1}) || st.Entries() != 0 || st.BytesOnDisk() != 0 || st.Dir() != "" {
+		t.Fatal("nil store did something")
+	}
+	st.Drop(0)
+	st.Flush()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

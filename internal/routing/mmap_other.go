@@ -1,0 +1,12 @@
+//go:build !unix
+
+package routing
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap reports no mapping;
+// the disk store falls back to pread (os.File.ReadAt) per lookup.
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, nil }
+
+// munmap is a no-op without mappings.
+func munmap(b []byte) {}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package routing
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The mapping
+// outlives the file descriptor, so callers may close f afterwards. A
+// zero or negative size returns nil (callers fall back to pread).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(maxInt) {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping returned by mmapFile; nil is a no-op.
+func munmap(b []byte) {
+	if b != nil {
+		_ = syscall.Munmap(b)
+	}
+}
+
+const maxInt = int(^uint(0) >> 1)

@@ -158,6 +158,24 @@ func errPacked(format string, args ...any) error {
 	return fmt.Errorf("routing: bad packed static: "+format, args...)
 }
 
+// pkUv decodes the uvarint at b[off], returning the value and the
+// advanced offset, or a negative offset on malformed input (including
+// a negative off, so calls chain without intermediate checks). Gap
+// encoding makes single-byte values the overwhelming majority of a
+// packed stream; DecodePacked's loop open-codes that one-compare
+// fast path (the combined helper exceeds the inlining budget) and
+// falls back here for multi-byte values and stream ends.
+func pkUv(b []byte, off int) (uint64, int) {
+	if off < 0 || off >= len(b) {
+		return 0, -1
+	}
+	v, k := binary.Uvarint(b[off:])
+	if k <= 0 {
+		return 0, -1
+	}
+	return v, off + k
+}
+
 // DecodePacked decodes blob into the workspace's static scratch — the
 // same storage ComputeStatic builds into — and returns it. The result
 // carries winners and is invalidated by the next ComputeStatic,
@@ -166,10 +184,27 @@ func errPacked(format string, args ...any) error {
 // workspace's clear-invariant, so it composes freely with computed
 // builds on the same workspace.
 //
-// The blob is treated as untrusted (it may arrive over the dist wire):
-// any malformed header, out-of-range id or index, or level
-// inconsistency returns an error with the workspace fully restored.
+// The blob is treated as untrusted (it may arrive over the dist wire
+// or the disk tier): any malformed header, out-of-range id or index,
+// or level inconsistency returns an error with the workspace fully
+// restored.
 func (w *Workspace) DecodePacked(blob []byte) (*Static, error) {
+	return w.decodePacked(blob, false)
+}
+
+// DecodePackedTrusted decodes like DecodePacked but skips the
+// per-member level and class revalidation — the checks whose memory
+// loads dominate a decode of a known-good blob. It is for bytes that
+// already passed a full DecodePacked (or were encoded by this process)
+// and have sat in process memory since: the static caches hold exactly
+// such blobs. Structurally malformed input still errors cleanly with
+// the workspace restored; the runtime's bounds checks still guard
+// every access.
+func (w *Workspace) DecodePackedTrusted(blob []byte) (*Static, error) {
+	return w.decodePacked(blob, true)
+}
+
+func (w *Workspace) decodePacked(blob []byte, trusted bool) (*Static, error) {
 	g := w.g
 	n := int32(g.N())
 	s := &w.static
@@ -178,19 +213,12 @@ func (w *Workspace) DecodePacked(blob []byte) (*Static, error) {
 		return nil, errPacked("missing magic")
 	}
 	off := 1
-	uv := func() (uint64, bool) {
-		v, k := binary.Uvarint(blob[off:])
-		if k <= 0 {
-			return 0, false
-		}
-		off += k
-		return v, true
-	}
-	hd, ok1 := uv()
-	hn, ok2 := uv()
-	hOrder, ok3 := uv()
-	hLevels, ok4 := uv()
-	if !ok1 || !ok2 || !ok3 || !ok4 {
+	var hd, hn, hOrder, hLevels uint64
+	hd, off = pkUv(blob, off)
+	hn, off = pkUv(blob, off)
+	hOrder, off = pkUv(blob, off)
+	hLevels, off = pkUv(blob, off)
+	if off < 0 {
 		return nil, errPacked("truncated header")
 	}
 	if hn != uint64(n) {
@@ -208,8 +236,9 @@ func (w *Workspace) DecodePacked(blob []byte) (*Static, error) {
 	countsOff := off
 	total := 0
 	for l := 0; l < nLevels; l++ {
-		c, ok := uv()
-		if !ok || c > uint64(nOrder-total) {
+		var c uint64
+		c, off = pkUv(blob, off)
+		if off < 0 || c > uint64(nOrder-total) {
 			return nil, errPacked("bad level count")
 		}
 		total += int(c)
@@ -264,13 +293,24 @@ func (w *Workspace) DecodePacked(blob []byte) (*Static, error) {
 
 	cOff := countsOff
 	k := 0
+	tbits := blob[tOff : tOff+(nOrder+3)/4]
+	sLen, sType := s.Len, s.Type
+	// tbAdj stays in a local across the loop (written back on every
+	// exit): append on the field would reload and respill the slice
+	// header once per member.
+	tbAdj := s.tbAdj
 	for l := int32(1); l <= int32(nLevels); l++ {
 		cnt, cl := binary.Uvarint(blob[cOff:])
 		cOff += cl
 		prevID := int32(-1)
 		for e := uint64(0); e < cnt; e++ {
-			gap, ok := uv()
-			if !ok || gap == 0 || gap > uint64(n) {
+			var gap uint64
+			if uint(off) < uint(len(blob)) && blob[off] < 0x80 {
+				gap, off = uint64(blob[off]), off+1
+			} else {
+				gap, off = pkUv(blob, off)
+			}
+			if off < 0 || gap == 0 || gap > uint64(n) {
 				return fail("bad id gap at entry %d", k)
 			}
 			i := prevID + int32(gap)
@@ -278,61 +318,101 @@ func (w *Workspace) DecodePacked(blob []byte) (*Static, error) {
 				return fail("id %d out of range at entry %d", i, k)
 			}
 			prevID = i
-			if i == d || s.Type[i] != NoRoute {
+			if i == d || sType[i] != NoRoute {
 				return fail("duplicate or destination id %d", i)
 			}
-			code := blob[tOff+k/4] >> uint((k%4)*2) & 3
+			code := tbits[k>>2] >> ((k & 3) * 2) & 3
 			if code == 3 {
 				return fail("invalid type code at entry %d", k)
 			}
-			rowLen, ok := uv()
-			if !ok || rowLen == 0 {
+			var rowLen uint64
+			if uint(off) < uint(len(blob)) && blob[off] < 0x80 {
+				rowLen, off = uint64(blob[off]), off+1
+			} else {
+				rowLen, off = pkUv(blob, off)
+			}
+			if off < 0 || rowLen == 0 {
 				return fail("bad row length at entry %d", k)
 			}
 			adj := classAdj(g, i, code)
 			if rowLen > uint64(len(adj)) {
 				return fail("row wider than adjacency at entry %d", k)
 			}
-			start := len(s.tbAdj)
-			prevIdx := -1
-			for j := uint64(0); j < rowLen; j++ {
-				gap, ok := uv()
-				if !ok || gap == 0 || gap > uint64(len(adj)) {
+			var win int32
+			if rowLen == 1 {
+				// Singleton row — the common case — collapses to one gap
+				// with the sole member as winner (no winIdx in the
+				// stream), so it skips the general loop's bookkeeping.
+				if uint(off) < uint(len(blob)) && blob[off] < 0x80 {
+					gap, off = uint64(blob[off]), off+1
+				} else {
+					gap, off = pkUv(blob, off)
+				}
+				if off < 0 || gap == 0 || gap > uint64(len(adj)) {
 					return fail("bad member index at entry %d", k)
 				}
-				prevIdx += int(gap)
-				if prevIdx >= len(adj) {
-					return fail("member index %d out of range at entry %d", prevIdx, k)
+				m := adj[gap-1]
+				if !trusted {
+					if sLen[m] != l-1 {
+						return fail("member %d not at level %d", m, l-1)
+					}
+					if code != 2 && sType[m] != CustomerRoute && sType[m] != SelfRoute {
+						return fail("member %d wrong class", m)
+					}
 				}
-				m := adj[prevIdx]
-				// Every member must already be decoded one level up:
-				// the length relation is what makes the row a valid
-				// tiebreak set, and it doubles as corruption detection.
-				if s.Len[m] != l-1 {
-					return fail("member %d not at level %d", m, l-1)
+				tbAdj = append(tbAdj, m)
+				win = m
+			} else {
+				start := len(tbAdj)
+				prevIdx := -1
+				for j := uint64(0); j < rowLen; j++ {
+					if uint(off) < uint(len(blob)) && blob[off] < 0x80 {
+						gap, off = uint64(blob[off]), off+1
+					} else {
+						gap, off = pkUv(blob, off)
+					}
+					if off < 0 || gap == 0 || gap > uint64(len(adj)) {
+						return fail("bad member index at entry %d", k)
+					}
+					prevIdx += int(gap)
+					if prevIdx >= len(adj) {
+						return fail("member index %d out of range at entry %d", prevIdx, k)
+					}
+					m := adj[prevIdx]
+					// Every member must already be decoded one level up:
+					// the length relation is what makes the row a valid
+					// tiebreak set, and it doubles as corruption detection.
+					if !trusted {
+						if sLen[m] != l-1 {
+							return fail("member %d not at level %d", m, l-1)
+						}
+						if code != 2 && sType[m] != CustomerRoute && sType[m] != SelfRoute {
+							return fail("member %d wrong class", m)
+						}
+					}
+					tbAdj = append(tbAdj, m)
 				}
-				if code != 2 && s.Type[m] != CustomerRoute && s.Type[m] != SelfRoute {
-					return fail("member %d wrong class", m)
+				var wi uint64
+				if uint(off) < uint(len(blob)) && blob[off] < 0x80 {
+					wi, off = uint64(blob[off]), off+1
+				} else {
+					wi, off = pkUv(blob, off)
 				}
-				s.tbAdj = append(s.tbAdj, m)
-			}
-			win := s.tbAdj[start]
-			if rowLen > 1 {
-				wi, ok := uv()
-				if !ok || wi >= rowLen {
+				if off < 0 || wi >= rowLen {
 					return fail("bad winner index at entry %d", k)
 				}
-				win = s.tbAdj[start+int(wi)]
+				win = tbAdj[start+int(wi)]
 			}
-			s.Type[i] = RouteType(code) + CustomerRoute
-			s.Len[i] = l
+			sType[i] = RouteType(code) + CustomerRoute
+			sLen[i] = l
 			s.pos[i] = int32(k)
 			w.winBuf[i] = win
 			s.order = append(s.order, i)
-			s.tbOff = append(s.tbOff, int32(len(s.tbAdj)))
+			s.tbOff = append(s.tbOff, int32(len(tbAdj)))
 			k++
 		}
 	}
+	s.tbAdj = tbAdj
 	if off != len(blob) {
 		return fail("%d trailing bytes", len(blob)-off)
 	}

@@ -196,6 +196,12 @@ type StaticCache struct {
 	packedEntries int64
 	arena         staticArena
 	scratch       []byte
+
+	// spill, when set, observes every evicted entry (exactly one of
+	// blob/snap non-nil) before it is dropped — the hook the engine uses
+	// to divert eviction victims into the persistent disk tier instead
+	// of discarding the work. Must not call back into the cache.
+	spill func(d int32, blob []byte, snap *Static)
 }
 
 // NewStaticCache returns an unpacked-only cache that admits snapshots
@@ -245,7 +251,11 @@ func (c *StaticCache) Get(d int32, w *Workspace) *Static {
 		return nil
 	}
 	if e.blob != nil {
-		s, err := w.DecodePacked(e.blob)
+		// Trusted decode: every blob in the cache was either encoded by
+		// this process or fully validated by the DecodePacked its
+		// admission required (see AddBlob), so the per-member
+		// revalidation would only re-prove what admission proved.
+		s, err := w.DecodePackedTrusted(e.blob)
 		if err != nil {
 			// Unreachable for blobs this cache encoded; an imported blob
 			// that fails stays cached but unusable — treat as a miss.
@@ -261,7 +271,7 @@ func (c *StaticCache) Get(d int32, w *Workspace) *Static {
 			if c.packed {
 				c.repackAll()
 				if e := c.entries[d]; e.blob != nil {
-					s, err := w.DecodePacked(e.blob)
+					s, err := w.DecodePackedTrusted(e.blob)
 					if err != nil {
 						return nil
 					}
@@ -292,9 +302,20 @@ func (c *StaticCache) evictNewest(keep int32) {
 	}
 }
 
+// SetSpill installs the eviction observer (see the spill field). A nil
+// cache ignores it.
+func (c *StaticCache) SetSpill(fn func(d int32, blob []byte, snap *Static)) {
+	if c != nil {
+		c.spill = fn
+	}
+}
+
 // dropEntry removes d from the map and the accounting (not from seq).
 func (c *StaticCache) dropEntry(d int32) {
 	e := c.entries[d]
+	if c.spill != nil {
+		c.spill(d, e.blob, e.snap)
+	}
 	delete(c.entries, d)
 	c.bytes -= e.charged
 	if e.blob != nil {
@@ -398,10 +419,16 @@ func (c *StaticCache) addPacked(s *Static) {
 	c.addBlobBytes(s.Dest, c.scratch)
 }
 
-// AddBlob admits an already-encoded packed blob (a prefetched or
-// wire-imported static) for destination d, copying it into the arena.
-// Only packed caches accept blobs. Returns whether the blob was
-// admitted; the caller keeps ownership of blob either way.
+// AddBlob admits an already-encoded packed blob (a prefetched,
+// disk-read or wire-imported static) for destination d, copying it
+// into the arena. Only packed caches accept blobs. Returns whether the
+// blob was admitted; the caller keeps ownership of blob either way.
+//
+// The blob must be a valid encoding for this cache's graph: either
+// produced by AppendPacked in this process, or vetted by a successful
+// DecodePacked — Get relies on that invariant to decode cached blobs
+// on the trusted path. Every current import site (engine disk/prefetch
+// admission, dist warm handoff) decodes the bytes before calling this.
 func (c *StaticCache) AddBlob(d int32, blob []byte) bool {
 	if c == nil || !c.packed {
 		return false
@@ -474,6 +501,13 @@ func (c *StaticCache) Full() bool { return c != nil && c.full }
 // Repacked reports whether the cache has switched to packed storage
 // (first overflow of a packed cache happened).
 func (c *StaticCache) Repacked() bool { return c != nil && c.repacked }
+
+// Packed reports whether the cache stores packed blobs at all — before
+// or after the repack. A packed-capable cache accepts AddBlob from the
+// start, which lets callers holding an already-encoded blob (a disk-tier
+// read) skip both the snapshot deep copy and that entry's share of the
+// eventual repack.
+func (c *StaticCache) Packed() bool { return c != nil && c.packed }
 
 // Evictions returns how many entries lazy-growth overflows evicted.
 func (c *StaticCache) Evictions() int64 {
@@ -596,7 +630,9 @@ func (sc *SharedStaticCache) Get(d int32, w *Workspace) *Static {
 		return nil
 	}
 	if e.blob != nil {
-		s, err := w.DecodePacked(e.blob)
+		// Shared-store blobs are all self-encoded (Add packs them in
+		// this process), so the trusted decode applies — see AddBlob.
+		s, err := w.DecodePackedTrusted(e.blob)
 		if err != nil {
 			return nil
 		}

@@ -161,6 +161,27 @@ type Config struct {
 	// Fingerprint.
 	StaticPrefetch int
 
+	// StaticStoreDir, when non-empty, roots the persistent L2 static
+	// tier (routing.StaticDiskStore): packed static snapshots are
+	// written through to an append-only, checksummed, mmap-read on-disk
+	// store keyed by (graph fingerprint, tiebreaker wire form,
+	// destination), and static cache misses consult it — decoding a
+	// stored blob in ~O(reachable) — before paying the three-stage BFS.
+	// One root directory serves any number of graphs; statics persist
+	// across rounds, Runs, simulations and process restarts, so a
+	// graph's static cold start is paid once per (graph, tiebreaker),
+	// ever. An unusable directory (or a corrupted store) silently
+	// degrades to today's recompute behavior.
+	//
+	// Purely a performance knob: every stored blob is CRC-guarded and
+	// decode-validated, a decoded blob reproduces PrepareDest's output
+	// bit for bit (see routing/packed.go and routing/diskstore.go), and
+	// any validation failure falls back to recomputation — so every
+	// Result is bit-identical with the tier off, cold, warm or corrupt
+	// (see TestDiskStoreResultInvariant) and the field is excluded from
+	// Fingerprint.
+	StaticStoreDir string
+
 	// SharedStatics, when non-nil, serves destination statics from a
 	// graph-level store shared across simulations instead of private
 	// per-worker caches (StaticCacheBytes is then ignored — the store

@@ -143,10 +143,11 @@ func (s *Sim) RunE() (*Result, error) {
 	// Starting utilities: the all-insecure world before any deployment,
 	// the baseline the paper normalizes utility trajectories by.
 	pristine := newDeployState(n)
-	prBase, _, _, err := s.computeRound(pristine, nil)
+	prBase, _, prStats, err := s.computeRound(pristine, nil)
 	if err != nil {
 		return nil, err
 	}
+	res.PristineStats = prStats
 	for i := range res.PristineUtil {
 		if g.IsISP(int32(i)) {
 			res.PristineUtil[i] = prBase[i]
@@ -423,6 +424,9 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		stats.PrefetchWasted = sum.PrefetchWasted
 		stats.StaticPackedBytes = sum.StaticPackedBytes
 		stats.StaticPackedEntries = sum.StaticPackedEntries
+		stats.StaticDiskHits = sum.StaticDiskHits
+		stats.StaticDiskBytesRead = sum.StaticDiskBytesRead
+		stats.StaticDiskWrites = sum.StaticDiskWrites
 		stats.ShardWallMax, stats.ShardWallMin, stats.StragglerRatio = shardTiming(partials)
 		// A graph-level shared static store is not owned by any shard;
 		// count it once on top of the per-shard private caches (which
@@ -495,6 +499,10 @@ type roundCtx struct {
 	// cost more than resolving them afresh; processDest then rebuilds
 	// instead of advancing — the same bits either way.
 	bigJump bool
+	// noSecure: st has no secure node at all, so no tree anywhere has a
+	// fully secure path — the per-destination anySecurePath scan is
+	// skipped round-wide (the pristine sweep and base-only rounds).
+	noSecure bool
 }
 
 // worker holds all per-goroutine scratch state so that destination
@@ -504,6 +512,7 @@ type worker struct {
 	ws          *routing.Workspace
 	cache       *routing.StaticCache       // per-worker static snapshots; nil = disabled
 	shared      *routing.SharedStaticCache // graph-level store; replaces cache when set
+	disk        *routing.StaticDiskStore   // persistent L2 tier; nil = disabled
 	pf          *prefetcher                // static prefetch pipeline; nil = disabled
 	dyn         *dynCache                  // per-worker contribution records; nil = disabled
 	isps        []int32                    // shared class index list (asgraph.Graph.ISPs)
@@ -551,6 +560,14 @@ type workerStats struct {
 	dynDirty         int64
 	prefetchHits     int64
 	prefetchWasted   int64
+
+	// Disk-tier traffic (Config.StaticStoreDir): lookups served by a
+	// stored blob (and the bytes decoded), plus records this worker
+	// appended. A disk hit replaces a BFS, so it is counted instead of
+	// — not on top of — staticMisses.
+	staticDiskHits      int64
+	staticDiskBytesRead int64
+	staticDiskWrites    int64
 }
 
 func newWorker(g *asgraph.Graph, n int) *worker {
@@ -617,22 +634,52 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		// repacked, the pipeline hands over packed blobs instead of full
 		// snapshots; a decoded blob reproduces PrepareDest's output
 		// exactly (see packed.go), so the resolution inputs are identical
-		// in every combination.
+		// in every combination. With a disk tier bound
+		// (Config.StaticStoreDir) the pipeline also streams stored blobs
+		// (fromDisk), and destinations the pipeline missed consult the
+		// tier inline — every disk blob is CRC-checked by Lookup and
+		// structurally validated by the decode, and any failure drops the
+		// record and falls back to the BFS, so corruption can cost time,
+		// never bits.
 		var pre prefItem
 		havePre := false
 		if wk.pf != nil {
 			pre, havePre = wk.pf.take(d)
 		}
+		var blobUsed []byte // packed bytes stc was decoded from, if any
+		fromDisk := false
 		if havePre && pre.blob != nil {
+			// Trusted decode: pipeline-built blobs were encoded in this
+			// process, and disk-read ones passed Lookup's CRC — either way
+			// the 2^-32 residual risk of an in-range-but-wrong field is
+			// carried by the checksum, not by per-member revalidation.
 			var err error
-			stc, err = wk.ws.DecodePacked(pre.blob)
+			stc, err = wk.ws.DecodePackedTrusted(pre.blob)
 			if err != nil {
-				// Pipeline-built blobs can't be corrupt, but the decode
-				// path tolerates it anyway: fall back to the inline build.
+				// Pipeline-built blobs can't be corrupt, but disk-read
+				// ones can: drop the poisoned record (the write-through
+				// below repairs it) and fall back to the inline build.
+				if pre.fromDisk {
+					wk.disk.Drop(d)
+				}
 				havePre = false
+			} else {
+				blobUsed = pre.blob
+				fromDisk = pre.fromDisk
 			}
 		} else if havePre {
 			stc = pre.snap
+		}
+		if stc == nil && wk.disk != nil {
+			if blob := wk.disk.Lookup(d); blob != nil {
+				if s, err := wk.ws.DecodePackedTrusted(blob); err == nil {
+					stc = s
+					blobUsed = blob
+					fromDisk = true
+				} else {
+					wk.disk.Drop(d)
+				}
+			}
 		}
 		if stc == nil {
 			stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
@@ -640,20 +687,42 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		if havePre {
 			wk.stats.prefetchHits++
 		}
+		if fromDisk {
+			// Served by the disk tier: the BFS was skipped, so this is
+			// counted as a disk hit, not a static miss.
+			wk.stats.staticDiskHits++
+			wk.stats.staticDiskBytesRead += int64(len(blobUsed))
+		} else if wk.shared != nil || wk.cache != nil {
+			wk.stats.staticMisses++
+		}
+		// Write-through: persist every freshly computed static (inline
+		// or pipeline-built) so this (graph, tiebreaker, destination)
+		// never pays the BFS again — in any later round, Run, simulation
+		// or process. Pipeline blobs are persisted as-is, no re-encode.
+		if wk.disk != nil && !fromDisk {
+			var wrote bool
+			if blobUsed != nil {
+				wrote = wk.disk.Put(d, blobUsed)
+			} else {
+				wrote = wk.disk.PutStatic(stc)
+			}
+			if wrote {
+				wk.stats.staticDiskWrites++
+			}
+		}
 		switch {
 		case wk.shared != nil:
-			wk.stats.staticMisses++
 			if snap := wk.shared.Add(wk.ws, stc); snap != nil {
 				stc = snap
 			}
 		case wk.cache != nil:
-			wk.stats.staticMisses++
 			switch {
-			case havePre && pre.blob != nil:
-				// The packed bytes are already built: admit them as-is,
-				// no re-encode.
-				wk.cache.AddBlob(d, pre.blob)
-			case havePre:
+			case blobUsed != nil && wk.cache.Packed():
+				// The packed bytes are already built: admit them as-is —
+				// no re-encode, no snapshot copy, and (pre-repack) no
+				// share of the eventual repack pass.
+				wk.cache.AddBlob(d, blobUsed)
+			case havePre && !fromDisk && pre.snap != nil:
 				// Already a self-contained snapshot: admit it as-is.
 				wk.cache.AddOwned(stc)
 			default:
@@ -791,10 +860,12 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 
 	// anySecurePath: does anyone other than d have a fully secure path?
 	anySecurePath := false
-	for _, i := range stc.Order() {
-		if tree.Secure[i] {
-			anySecurePath = true
-			break
+	if !rc.noSecure {
+		for _, i := range stc.Order() {
+			if tree.Secure[i] {
+				anySecurePath = true
+				break
+			}
 		}
 	}
 

@@ -63,6 +63,9 @@ type ShardStats struct {
 	PrefetchWasted      int64
 	StaticPackedBytes   int64
 	StaticPackedEntries int64
+	StaticDiskHits      int64
+	StaticDiskBytesRead int64
+	StaticDiskWrites    int64
 }
 
 // add accumulates o into s. WallNS is summed too; callers wanting
@@ -92,6 +95,9 @@ func (s *ShardStats) add(o *ShardStats) {
 	s.PrefetchWasted += o.PrefetchWasted
 	s.StaticPackedBytes += o.StaticPackedBytes
 	s.StaticPackedEntries += o.StaticPackedEntries
+	s.StaticDiskHits += o.StaticDiskHits
+	s.StaticDiskBytesRead += o.StaticDiskBytesRead
+	s.StaticDiskWrites += o.StaticDiskWrites
 }
 
 // ExecInfo reports executor-level events of one round that are not

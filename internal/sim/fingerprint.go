@@ -40,6 +40,11 @@ import (
 //   - SharedStatics: likewise — a shared graph-level snapshot is the
 //     same bits a private cache or cold computation produces (see
 //     TestSharedStaticsResultInvariant).
+//   - StaticStoreDir: likewise — a disk-stored blob is CRC-guarded,
+//     decode-validated, and reproduces PrepareDest's output bit for bit;
+//     any validation failure recomputes (see TestDiskStoreResultInvariant),
+//     so no store state (absent, cold, warm, corrupt) can change any
+//     Result.
 //   - StaticPrefetch: likewise — a prefetched snapshot is the same
 //     bytes the worker's own PrepareDest would produce, admitted by the
 //     same consumer in the same stripe order (see

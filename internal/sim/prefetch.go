@@ -37,6 +37,7 @@ type prefetcher struct {
 	depth int
 	ws    *routing.Workspace // goroutine-private; never touched by the consumer
 	tb    routing.Tiebreaker
+	disk  *routing.StaticDiskStore // persistent L2 tier; nil = disabled
 
 	req      chan prefReq  // this round's requested destinations
 	res      chan prefItem // finished snapshots or blobs, in request order
@@ -62,20 +63,27 @@ type prefReq struct {
 }
 
 // prefItem is one prefetched destination: exactly one of snap or blob
-// is set, matching the request's format.
+// is set. A pipeline-computed result matches the request's format; a
+// disk-tier read is always a blob, flagged fromDisk so the consumer
+// counts it as a disk hit and routes a failed decode to
+// StaticDiskStore.Drop (repair) instead of assuming pipeline bytes.
 type prefItem struct {
-	d    int32
-	snap *routing.Static
-	blob []byte
+	d        int32
+	snap     *routing.Static
+	blob     []byte
+	fromDisk bool
 }
 
 // newPrefetcher returns a prefetcher computing up to depth destinations
-// ahead on its own workspace.
-func newPrefetcher(g *asgraph.Graph, depth int, tb routing.Tiebreaker) *prefetcher {
+// ahead on its own workspace. With a disk store bound, the pipeline
+// streams stored blobs instead of recomputing — the read and CRC check
+// land on the pipeline goroutine, off the worker's critical path.
+func newPrefetcher(g *asgraph.Graph, depth int, tb routing.Tiebreaker, disk *routing.StaticDiskStore) *prefetcher {
 	return &prefetcher{
 		depth:   depth,
 		ws:      routing.NewWorkspace(g),
 		tb:      tb,
+		disk:    disk,
 		pending: make(map[int32]prefItem),
 	}
 }
@@ -92,6 +100,14 @@ func (pf *prefetcher) start(shard int32) {
 	pf.next = shard
 	go func(req chan prefReq, res chan<- prefItem) {
 		for r := range req {
+			// Disk tier first: a stored blob replaces the BFS outright.
+			// The consumer's decode fully validates it and falls back to
+			// an inline build on failure, so a corrupt record arriving
+			// through the pipeline costs time, never bits.
+			if blob := pf.disk.Lookup(r.d); blob != nil {
+				res <- prefItem{d: r.d, blob: blob, fromDisk: true}
+				continue
+			}
 			s := pf.ws.PrepareDest(r.d, pf.tb)
 			if r.packed {
 				res <- prefItem{d: r.d, blob: routing.AppendPacked(nil, s, pf.ws.Graph())}

@@ -51,6 +51,12 @@ type Result struct {
 	// the paper normalizes by (Figure 4). Indexed by node; NaN for
 	// non-ISPs.
 	PristineUtil []float64
+	// PristineStats instruments the pristine-baseline utility pass (the
+	// computation behind PristineUtil); nil unless Config.RecordStats is
+	// set. It is where a simulation pays its cold static work, so the
+	// static cache/disk-tier counters of a run's very first pass show up
+	// here rather than in any Round's Stats.
+	PristineStats *RoundStats
 	// Initial counts the secure population after seeding the early
 	// adopters and their simplex stubs, before any round ran.
 	Initial Counts

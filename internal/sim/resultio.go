@@ -60,17 +60,18 @@ func (f *nanFloats) UnmarshalJSON(data []byte) error {
 }
 
 type resultWire struct {
-	Version      int         `json:"version"`
-	ISPs         []int32     `json:"isps"`
-	PristineUtil nanFloats   `json:"pristine_util"`
-	Initial      Counts      `json:"initial"`
-	Rounds       []roundWire `json:"rounds"`
-	FinalSecure  []bool      `json:"final_secure"`
-	Final        Counts      `json:"final"`
-	Stable       bool        `json:"stable"`
-	Oscillated   bool        `json:"oscillated"`
-	CycleStart   int         `json:"cycle_start"`
-	CycleLen     int         `json:"cycle_len"`
+	Version       int         `json:"version"`
+	ISPs          []int32     `json:"isps"`
+	PristineUtil  nanFloats   `json:"pristine_util"`
+	PristineStats *RoundStats `json:"pristine_stats,omitempty"`
+	Initial       Counts      `json:"initial"`
+	Rounds        []roundWire `json:"rounds"`
+	FinalSecure   []bool      `json:"final_secure"`
+	Final         Counts      `json:"final"`
+	Stable        bool        `json:"stable"`
+	Oscillated    bool        `json:"oscillated"`
+	CycleStart    int         `json:"cycle_start"`
+	CycleLen      int         `json:"cycle_len"`
 }
 
 type roundWire struct {
@@ -86,16 +87,17 @@ type roundWire struct {
 // WriteResult serializes res as JSON.
 func WriteResult(w io.Writer, res *Result) error {
 	wire := resultWire{
-		Version:      resultWireVersion,
-		ISPs:         res.ISPs,
-		PristineUtil: nanFloats(res.PristineUtil),
-		FinalSecure:  res.FinalSecure,
-		Initial:      res.Initial,
-		Final:        res.Final,
-		Stable:       res.Stable,
-		Oscillated:   res.Oscillated,
-		CycleStart:   res.CycleStart,
-		CycleLen:     res.CycleLen,
+		Version:       resultWireVersion,
+		ISPs:          res.ISPs,
+		PristineUtil:  nanFloats(res.PristineUtil),
+		PristineStats: res.PristineStats,
+		FinalSecure:   res.FinalSecure,
+		Initial:       res.Initial,
+		Final:         res.Final,
+		Stable:        res.Stable,
+		Oscillated:    res.Oscillated,
+		CycleStart:    res.CycleStart,
+		CycleLen:      res.CycleLen,
 	}
 	for _, rd := range res.Rounds {
 		wire.Rounds = append(wire.Rounds, roundWire{
@@ -125,15 +127,16 @@ func ReadResult(r io.Reader) (*Result, error) {
 		return nil, fmt.Errorf("sim: result wire version %d, want %d", wire.Version, resultWireVersion)
 	}
 	res := &Result{
-		ISPs:         wire.ISPs,
-		PristineUtil: wire.PristineUtil,
-		FinalSecure:  wire.FinalSecure,
-		Initial:      wire.Initial,
-		Final:        wire.Final,
-		Stable:       wire.Stable,
-		Oscillated:   wire.Oscillated,
-		CycleStart:   wire.CycleStart,
-		CycleLen:     wire.CycleLen,
+		ISPs:          wire.ISPs,
+		PristineUtil:  wire.PristineUtil,
+		PristineStats: wire.PristineStats,
+		FinalSecure:   wire.FinalSecure,
+		Initial:       wire.Initial,
+		Final:         wire.Final,
+		Stable:        wire.Stable,
+		Oscillated:    wire.Oscillated,
+		CycleStart:    wire.CycleStart,
+		CycleLen:      wire.CycleLen,
 	}
 	for _, rd := range wire.Rounds {
 		res.Rounds = append(res.Rounds, Round{

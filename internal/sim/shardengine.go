@@ -34,6 +34,12 @@ type ShardEngine struct {
 	allIdx   []int          // cached [0..len(pool)) index list
 	partials []ShardPartial // reused output buffer
 
+	// disk is the persistent L2 static tier (Config.StaticStoreDir),
+	// shared by all shards — the store is concurrency-safe and keyed by
+	// destination, so unlike the private L1 caches it needs no
+	// per-shard split. nil when the tier is disabled or unusable.
+	disk *routing.StaticDiskStore
+
 	// retired holds the workers of shards migrated away (RemoveShards),
 	// keyed by shard id. A shard that later returns to this engine
 	// re-adopts its old worker, so the static-cache layer — which is
@@ -111,6 +117,16 @@ func NewShardEngine(g *asgraph.Graph, cfg Config, shards []int, total int) (*Sha
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
+	// The persistent L2 tier. Process-wide shared instance so every Sim
+	// on this (graph, tiebreaker) reuses one set of file descriptors and
+	// mappings — and immediately sees statics earlier Sims persisted. An
+	// unusable store (missing dir on a dist worker host, foreign meta,
+	// unkeyable tiebreaker) degrades silently to today's behavior.
+	if cfg.StaticStoreDir != "" {
+		if ds, err := routing.SharedStaticDiskStore(cfg.StaticStoreDir, g, cfg.Tiebreaker); err == nil {
+			e.disk = ds
+		}
+	}
 	if err := e.AddShards(shards); err != nil {
 		return nil, err
 	}
@@ -157,8 +173,24 @@ func (e *ShardEngine) AddShards(ids []int) error {
 			} else if e.staticBudget > 0 {
 				wk.cache = routing.NewStaticCacheFor(e.g, e.staticBudget, !e.cfg.NoPackedStatics)
 			}
+			wk.disk = e.disk
+			if wk.cache != nil && e.disk != nil {
+				// Eviction victims spill to the disk tier instead of
+				// dropping: normally a no-op (every computed static was
+				// written through at miss time), but it catches entries
+				// that entered the cache without touching processDest —
+				// e.g. warm-migration imports (ImportStatics).
+				disk := e.disk
+				wk.cache.SetSpill(func(d int32, blob []byte, snap *routing.Static) {
+					if blob != nil {
+						disk.Put(d, blob)
+					} else if snap != nil && snap.HasWinners() {
+						disk.PutStatic(snap)
+					}
+				})
+			}
 			if e.cfg.StaticPrefetch > 0 {
-				wk.pf = newPrefetcher(e.g, e.cfg.StaticPrefetch, e.cfg.Tiebreaker)
+				wk.pf = newPrefetcher(e.g, e.cfg.StaticPrefetch, e.cfg.Tiebreaker, e.disk)
 			}
 			if e.dynBudget > 0 {
 				wk.dyn = newDynCache(e.dynBudget)
@@ -320,6 +352,13 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 	}
 
 	rc := &roundCtx{st: st, candList: candList, cfg: &e.cfg, weights: e.weights}
+	rc.noSecure = true
+	for _, sec := range st.secure {
+		if sec {
+			rc.noSecure = false
+			break
+		}
+	}
 	if e.dynOn {
 		e.syncDyn(st, rc)
 	}
@@ -390,6 +429,9 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 				PrefetchWasted:      wk.stats.prefetchWasted,
 				StaticPackedBytes:   wk.cache.PackedBytes(),
 				StaticPackedEntries: wk.cache.PackedEntries(),
+				StaticDiskHits:      wk.stats.staticDiskHits,
+				StaticDiskBytesRead: wk.stats.staticDiskBytesRead,
+				StaticDiskWrites:    wk.stats.staticDiskWrites,
 			},
 		}
 		out = append(out, p)

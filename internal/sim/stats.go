@@ -96,6 +96,16 @@ type RoundStats struct {
 	// Both stay zero with prefetching disabled.
 	PrefetchHits   int64
 	PrefetchWasted int64
+	// StaticDiskHits counts destinations served by the persistent disk
+	// tier (Config.StaticStoreDir): a stored packed blob was read,
+	// CRC-checked and decoded instead of running the three-stage BFS
+	// (disk hits are counted instead of — not on top of — StaticMisses).
+	// StaticDiskBytesRead is the blob bytes those hits decoded, and
+	// StaticDiskWrites counts freshly computed statics written through
+	// to the store this round. All three stay zero without a store.
+	StaticDiskHits      int64
+	StaticDiskBytesRead int64
+	StaticDiskWrites    int64
 	// StaticPackedEntries/StaticPackedBytes count the cache entries held
 	// in packed form and the blob bytes they occupy (a subset of
 	// StaticCacheEntries/StaticCacheBytes; see routing/packed.go). Both
@@ -161,6 +171,10 @@ func (st *RoundStats) String() string {
 	}
 	if st.StaticPackedEntries > 0 {
 		out += fmt.Sprintf(", packed %d entries %dB", st.StaticPackedEntries, st.StaticPackedBytes)
+	}
+	if st.StaticDiskHits > 0 || st.StaticDiskWrites > 0 {
+		out += fmt.Sprintf(", disk %d hit %dB read, %d writes",
+			st.StaticDiskHits, st.StaticDiskBytesRead, st.StaticDiskWrites)
 	}
 	if st.WorkersLost > 0 || st.ShardsReassigned > 0 {
 		out += fmt.Sprintf(", lost %d workers (%d shards reassigned)", st.WorkersLost, st.ShardsReassigned)

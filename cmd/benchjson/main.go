@@ -9,6 +9,7 @@
 //	          [-o BENCH.json] [packages...]
 //	benchjson -diff OLD.json NEW.json
 //	benchjson -trajectory [BENCH_pr3.json BENCH_pr4.json ...]
+//	benchjson -check [-threshold 25] [BENCH_pr9.json BENCH_new.json ...]
 //
 // Packages default to ./internal/sim. Fixed iteration counts
 // (-benchtime Nx) make reruns comparable: every sample measures the
@@ -24,6 +25,13 @@
 // BENCH_pr*.json (or the files given explicitly) into one
 // per-benchmark time-series table — ns/op per revision, ordered by PR
 // number — so the whole optimization arc reads off a single screen.
+// The -check mode is the CI regression guard: it orders the given files
+// (default glob BENCH_pr*.json) like -trajectory, then compares the
+// newest file's warm-series benchmarks — the repeatable ones, whose
+// names contain "Warm" — against the latest earlier file measuring each,
+// and exits nonzero when any regressed by more than -threshold percent.
+// Cold walls are reported but never fail the check: they measure one
+// non-repeatable population pass dominated by I/O variance.
 package main
 
 import (
@@ -82,16 +90,29 @@ func run() int {
 		isolate   = flag.Bool("isolate", true, "run each matched benchmark in its own go test process (one benchmark's heap cannot distort another's timing)")
 		diffMode  = flag.Bool("diff", false, "compare two emitted JSON files: benchjson -diff OLD NEW")
 		trajMode  = flag.Bool("trajectory", false, "merge emitted JSON files (default glob BENCH_pr*.json) into one per-benchmark time-series table")
+		checkMode = flag.Bool("check", false, "regression guard: fail when the newest file's warm-series benchmarks regress beyond -threshold vs the previous file measuring them")
+		threshold = flag.Float64("threshold", 25, "with -check: maximum tolerated warm-series ns/op regression, in percent")
 	)
 	flag.Parse()
-	if *trajMode {
+	if *trajMode || *checkMode {
 		files := flag.Args()
 		if len(files) == 0 {
 			var err error
 			if files, err = filepath.Glob("BENCH_pr*.json"); err != nil || len(files) == 0 {
-				fmt.Fprintln(os.Stderr, "benchjson: -trajectory found no BENCH_pr*.json files (pass them explicitly)")
+				fmt.Fprintln(os.Stderr, "benchjson: found no BENCH_pr*.json files (pass them explicitly)")
 				return 2
 			}
+		}
+		if *checkMode {
+			ok, err := check(os.Stdout, files, *threshold)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return 1
+			}
+			if !ok {
+				return 1
+			}
+			return 0
 		}
 		if err := trajectory(os.Stdout, files); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -258,17 +279,7 @@ func diff(w *os.File, oldPath, newPath string) error {
 // (sorted by the PR number in the file name, then lexically), ns/op in
 // the cells, and a final column with the overall first → last change.
 func trajectory(w *os.File, files []string) error {
-	sort.SliceStable(files, func(i, j int) bool {
-		a, aok := prNumber(files[i])
-		b, bok := prNumber(files[j])
-		if aok && bok && a != b {
-			return a < b
-		}
-		if aok != bok {
-			return aok // numbered files before unnumbered ones
-		}
-		return files[i] < files[j]
-	})
+	sortByRevision(files)
 
 	type column struct {
 		label string
@@ -329,6 +340,92 @@ func trajectory(w *os.File, files []string) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// check orders files like trajectory, then audits the newest one: every
+// warm-series benchmark (name containing "Warm") is compared against
+// the latest earlier file that measured it, and any ns/op increase
+// beyond threshold percent fails the check. Benchmarks measured for the
+// first time, cold-series walls, and improvements all pass.
+func check(w *os.File, files []string, threshold float64) (ok bool, err error) {
+	if len(files) < 2 {
+		fmt.Fprintf(w, "benchjson: -check needs a baseline: only %d file(s), nothing to compare — pass\n", len(files))
+		return true, nil
+	}
+	sortByRevision(files)
+	newest, err := load(files[len(files)-1])
+	if err != nil {
+		return false, err
+	}
+	baselines := make([]*File, 0, len(files)-1)
+	for _, path := range files[:len(files)-1] {
+		f, err := load(path)
+		if err != nil {
+			return false, err
+		}
+		if f.Label == "" {
+			f.Label = strings.TrimSuffix(filepath.Base(path), ".json")
+		}
+		baselines = append(baselines, f)
+	}
+
+	ok = true
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "warm benchmark\tbaseline\tns/op base\tns/op new\tΔ\tverdict\t\n")
+	for _, nb := range newest.Benchmarks {
+		if !strings.Contains(nb.Name, "Warm") {
+			continue
+		}
+		var base *Benchmark
+		baseLabel := ""
+		for i := len(baselines) - 1; i >= 0; i-- {
+			for _, ob := range baselines[i].Benchmarks {
+				if ob.Pkg == nb.Pkg && ob.Name == nb.Name {
+					b := ob
+					base, baseLabel = &b, baselines[i].Label
+					break
+				}
+			}
+			if base != nil {
+				break
+			}
+		}
+		if base == nil {
+			fmt.Fprintf(tw, "%s\t-\t-\t%.0f\tnew\tpass\t\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		verdict := "pass"
+		if base.NsPerOp > 0 && (nb.NsPerOp-base.NsPerOp)/base.NsPerOp*100 > threshold {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%s\t%s\t\n",
+			nb.Name, baseLabel, base.NsPerOp, nb.NsPerOp, relDelta(base.NsPerOp, nb.NsPerOp), verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return false, err
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: warm-series regression beyond %.0f%% — investigate before merging\n", threshold)
+	}
+	return ok, nil
+}
+
+// sortByRevision orders emitted files by the PR number in their name
+// (numbered before unnumbered, then lexically) — shared by -trajectory
+// and -check so "newest" means the same thing in both.
+func sortByRevision(files []string) {
+	sort.SliceStable(files, func(i, j int) bool {
+		a, aok := prNumber(files[i])
+		b, bok := prNumber(files[j])
+		if aok && bok && a != b {
+			return a < b
+		}
+		if aok != bok {
+			return aok // numbered files before unnumbered ones
+		}
+		return files[i] < files[j]
+	})
 }
 
 // prNumber extracts the revision number of a BENCH_prN*.json file name

@@ -57,12 +57,14 @@ func run() int {
 		prefetch    = flag.Int("prefetch", 0, "per-shard static prefetch pipeline depth (0 = off; bit-identical results)")
 		staticStore = flag.String("static-store", "", "persistent packed-static disk tier directory (default <out>/cache/statics with -out; 'off' disables; bit-identical results)")
 		packedStat  = flag.Bool("packed-statics", true, "pack overflowing static caches 3-5x denser (bit-identical results)")
+		streamRes   = flag.Bool("stream-resolve", true, "fuse decode+resolve over packed statics and replay pristine contributions (bit-identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile   = flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
 	)
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	stop, err := profiling.Start(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 2
@@ -97,7 +99,7 @@ func run() int {
 	// a post-hoc rewrite of zero values).
 	var mu sync.Mutex
 	batch := experiments.BatchOptions{
-		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch, StaticStoreDir: *staticStore, NoPackedStatics: !*packedStat},
+		Options:  experiments.Options{N: *n, Seed: *seed, X: *x, Workers: *workers, DistWorkers: *distWork, Rebalance: *rebalance, StaticCacheBytes: *staticCache, DynamicCacheBytes: *dynCache, StaticPrefetch: *prefetch, StaticStoreDir: *staticStore, NoPackedStatics: !*packedStat, NoStreamResolve: !*streamRes},
 		IDs:      ids,
 		Parallel: *parallel,
 		OutDir:   *outDir,

@@ -76,8 +76,10 @@ func run() int {
 		rebRatio    = flag.Float64("rebalance-ratio", 0, "load imbalance triggering a migration (0 = default 1.25)")
 		noBatchProj = flag.Bool("no-batch-proj", false, "disable the batched projection predictor (measurement knob; bit-identical results)")
 		packedStat  = flag.Bool("packed-statics", true, "pack overflowing static caches 3-5x denser (measurement knob; bit-identical results)")
+		streamRes   = flag.Bool("stream-resolve", true, "fuse decode+resolve over packed statics and replay pristine contributions (measurement knob; bit-identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile   = flag.String("trace", "", "write a runtime execution trace to this file (view with go tool trace)")
 	)
 	flag.Parse()
 
@@ -108,7 +110,7 @@ func run() int {
 		return fail(fmt.Errorf("unknown preset %q (want: paper)", *preset))
 	}
 
-	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	stop, err := profiling.Start(*cpuProfile, *memProfile, *traceFile)
 	if err != nil {
 		return fail(err)
 	}
@@ -162,6 +164,7 @@ func run() int {
 		RecordUtilities:     *resultJSON != "",
 		NoProjectionBatch:   *noBatchProj,
 		NoPackedStatics:     !*packedStat,
+		NoStreamResolve:     !*streamRes,
 	}
 	switch *model {
 	case "outgoing":

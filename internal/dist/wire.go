@@ -42,8 +42,10 @@ import (
 // (packed warm-handoff payload for migrations — workers answer every
 // drop with one), two packed-cache stats fields, and the
 // NoPackedStatics config flag. v4 added the StaticStoreDir config
-// field and three disk-tier stats fields.
-const protoVersion = 4
+// field and three disk-tier stats fields. v5 added the
+// pristine-contribution sidecar list to the shard-statics frame, three
+// streaming-tier stats fields, and the NoStreamResolve config flag.
+const protoVersion = 5
 
 // Frame types. Direction is fixed per type: the coordinator sends
 // hello/snapshot/round/assign/recompute/drop/bye, workers send
@@ -466,45 +468,72 @@ func decodeDrop(p []byte) ([]int, error) {
 	return shards, nil
 }
 
-// encodeShardStatics renders a set of packed static blobs
-// (routing/packed.go) as one shard-statics frame: the warm-handoff
-// payload of a migration. The source worker answers every drop frame
+// shardStaticsMsg is the warm-handoff payload of a migration: packed
+// static blobs (routing/packed.go) plus pristine-contribution sidecars
+// (routing/sidecar.go), the latter as parallel kind/dest/payload lists
+// because a sidecar's identity is not recoverable from its payload
+// cheaply enough to re-derive on the hot import path.
+type shardStaticsMsg struct {
+	Blobs      [][]byte
+	ScKinds    []uint8
+	ScDests    []int32
+	ScPayloads [][]byte
+}
+
+// encodeShardStatics renders the warm-handoff payload of a migration as
+// one shard-statics frame. The source worker answers every drop frame
 // with one (empty when packing is off or the caches held nothing), and
 // the coordinator forwards it to the migration destination after the
 // assign frame. Each blob is self-describing — it carries its own
-// destination id — so the frame needs no per-shard structure.
-func encodeShardStatics(blobs [][]byte) []byte {
-	size := 5
-	for _, b := range blobs {
+// destination id — so the blob list needs no per-shard structure; the
+// sidecar list that follows carries explicit (kind, dest) headers.
+func encodeShardStatics(m *shardStaticsMsg) []byte {
+	size := 9
+	for _, b := range m.Blobs {
 		size += 4 + len(b)
+	}
+	for _, p := range m.ScPayloads {
+		size += 9 + len(p)
 	}
 	e := &enc{b: make([]byte, 0, size)}
 	e.u8(frameShardStatics)
-	e.u32(uint32(len(blobs)))
-	for _, b := range blobs {
+	e.u32(uint32(len(m.Blobs)))
+	for _, b := range m.Blobs {
 		e.bytes(b)
+	}
+	e.u32(uint32(len(m.ScPayloads)))
+	for i, p := range m.ScPayloads {
+		e.u8(m.ScKinds[i])
+		e.u32(uint32(m.ScDests[i]))
+		e.bytes(p)
 	}
 	return e.b
 }
 
-// decodeShardStatics parses a shard-statics frame. The returned blobs
-// alias the frame buffer: callers must finish importing them (the
-// cache copies admitted bytes into its arena) before reading the next
-// frame into the same buffer.
-func decodeShardStatics(p []byte) ([][]byte, error) {
+// decodeShardStatics parses a shard-statics frame. The returned blob
+// and payload slices alias the frame buffer: callers must finish
+// importing them (the cache copies admitted bytes into its arena)
+// before reading the next frame into the same buffer.
+func decodeShardStatics(p []byte, into *shardStaticsMsg) error {
 	d := &dec{b: p}
 	if d.u8() != frameShardStatics {
-		return nil, fmt.Errorf("dist: not a shard-statics frame")
+		return fmt.Errorf("dist: not a shard-statics frame")
 	}
 	n := d.count(1)
-	var blobs [][]byte
+	into.Blobs = into.Blobs[:0]
 	for i := 0; i < n && d.err == nil; i++ {
-		blobs = append(blobs, d.bytes())
+		into.Blobs = append(into.Blobs, d.bytes())
 	}
-	if err := d.done(); err != nil {
-		return nil, err
+	ns := d.count(9)
+	into.ScKinds = into.ScKinds[:0]
+	into.ScDests = into.ScDests[:0]
+	into.ScPayloads = into.ScPayloads[:0]
+	for i := 0; i < ns && d.err == nil; i++ {
+		into.ScKinds = append(into.ScKinds, d.u8())
+		into.ScDests = append(into.ScDests, int32(d.u32()))
+		into.ScPayloads = append(into.ScPayloads, d.bytes())
 	}
-	return blobs, nil
+	return d.done()
 }
 
 // recomputeMsg asks the worker to compute a subset of its shards for
@@ -534,7 +563,7 @@ func decodeRecompute(p []byte, into *recomputeMsg) error {
 }
 
 // statsWireFields is the fixed field count of a ShardStats block.
-const statsWireFields = 27
+const statsWireFields = 30
 
 func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.WallNS)
@@ -564,6 +593,9 @@ func encodeStats(e *enc, s *sim.ShardStats) {
 	e.i64(s.StaticDiskHits)
 	e.i64(s.StaticDiskBytesRead)
 	e.i64(s.StaticDiskWrites)
+	e.i64(s.PristineReplays)
+	e.i64(s.PristineRecords)
+	e.i64(s.StreamResolves)
 }
 
 func decodeStats(d *dec, s *sim.ShardStats) {
@@ -594,6 +626,9 @@ func decodeStats(d *dec, s *sim.ShardStats) {
 	s.StaticDiskHits = d.i64()
 	s.StaticDiskBytesRead = d.i64()
 	s.StaticDiskWrites = d.i64()
+	s.PristineReplays = d.i64()
+	s.PristineRecords = d.i64()
+	s.StreamResolves = d.i64()
 }
 
 // partialsMsg returns one or more logical shards' partial sums for a

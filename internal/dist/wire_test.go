@@ -133,29 +133,41 @@ func TestDropRoundTrip(t *testing.T) {
 	}
 }
 
-// TestShardStaticsRoundTrip: packed blobs survive the frame codec
-// byte-exactly, an empty payload is legal (the always-sent drop reply
-// when packing is off), and foreign frames are rejected.
+// TestShardStaticsRoundTrip: packed blobs and sidecar records survive
+// the frame codec byte-exactly, an empty payload is legal (the
+// always-sent drop reply when packing is off), and foreign frames are
+// rejected.
 func TestShardStaticsRoundTrip(t *testing.T) {
-	in := [][]byte{{0xB5, 1, 2, 3}, {0xB5}, {0xB5, 0, 0xFF, 7, 9, 200}}
-	out, err := decodeShardStatics(encodeShardStatics(in))
-	if err != nil {
+	in := &shardStaticsMsg{
+		Blobs:      [][]byte{{0xB5, 1, 2, 3}, {0xB5}, {0xB5, 0, 0xFF, 7, 9, 200}},
+		ScKinds:    []uint8{0, 1},
+		ScDests:    []int32{42, 7},
+		ScPayloads: [][]byte{{0xC7, 1, 0, 42}, {0xC7, 1, 1, 7, 0xEE}},
+	}
+	var out shardStaticsMsg
+	if err := decodeShardStatics(encodeShardStatics(in), &out); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(in, out) {
-		t.Fatalf("round trip: got %v, want %v", out, in)
+	if !reflect.DeepEqual(in.Blobs, out.Blobs) {
+		t.Fatalf("blob round trip: got %v, want %v", out.Blobs, in.Blobs)
 	}
-	empty, err := decodeShardStatics(encodeShardStatics(nil))
-	if err != nil {
+	if !reflect.DeepEqual(in.ScKinds, out.ScKinds) ||
+		!reflect.DeepEqual(in.ScDests, out.ScDests) ||
+		!reflect.DeepEqual(in.ScPayloads, out.ScPayloads) {
+		t.Fatalf("sidecar round trip: got %v/%v/%v, want %v/%v/%v",
+			out.ScKinds, out.ScDests, out.ScPayloads, in.ScKinds, in.ScDests, in.ScPayloads)
+	}
+	var empty shardStaticsMsg
+	if err := decodeShardStatics(encodeShardStatics(&shardStaticsMsg{}), &empty); err != nil {
 		t.Fatal(err)
 	}
-	if len(empty) != 0 {
-		t.Fatalf("empty payload decoded to %d blobs", len(empty))
+	if len(empty.Blobs) != 0 || len(empty.ScPayloads) != 0 {
+		t.Fatalf("empty payload decoded to %d blobs, %d sidecars", len(empty.Blobs), len(empty.ScPayloads))
 	}
-	if _, err := decodeShardStatics(encodeDrop([]int{1})); err == nil {
+	if err := decodeShardStatics(encodeDrop([]int{1}), &out); err == nil {
 		t.Fatal("drop frame decoded as shard statics")
 	}
-	if _, err := decodeShardStatics(encodeShardStatics(in)[:5]); err == nil {
+	if err := decodeShardStatics(encodeShardStatics(in)[:5], &out); err == nil {
 		t.Fatal("truncated shard-statics frame decoded")
 	}
 }
@@ -172,7 +184,7 @@ func TestPartialsRoundTrip(t *testing.T) {
 				Shard:  2,
 				UBase:  mk(1.5, math.NaN(), math.Inf(1), math.Copysign(0, -1)),
 				UDelta: mk(0, -2.25, 1e-308, 3),
-				Stats:  sim.ShardStats{WallNS: 123, StaticHits: 1, StaticMisses: 2, StaticCacheBytes: 3, StaticCacheEntries: 4, BaseResolutions: 5, ProjResolutions: 6, ProjUnchanged: 7, SkipZeroUtil: 8, SkipInsecureDest: 9, SkipDestFlip: 10, SkipTurnOff: 11, SkipTurnOn: 12, NodesReused: 13, NodesRecomputed: 14, DirtyDests: 15, CleanDests: 16, DynCacheBytes: 17, DynCacheEntries: 18, DynCacheEvictions: 19, PrefetchHits: 20, PrefetchWasted: 21, StaticPackedBytes: 22, StaticPackedEntries: 23, StaticDiskHits: 24, StaticDiskBytesRead: 25, StaticDiskWrites: 26},
+				Stats:  sim.ShardStats{WallNS: 123, StaticHits: 1, StaticMisses: 2, StaticCacheBytes: 3, StaticCacheEntries: 4, BaseResolutions: 5, ProjResolutions: 6, ProjUnchanged: 7, SkipZeroUtil: 8, SkipInsecureDest: 9, SkipDestFlip: 10, SkipTurnOff: 11, SkipTurnOn: 12, NodesReused: 13, NodesRecomputed: 14, DirtyDests: 15, CleanDests: 16, DynCacheBytes: 17, DynCacheEntries: 18, DynCacheEvictions: 19, PrefetchHits: 20, PrefetchWasted: 21, StaticPackedBytes: 22, StaticPackedEntries: 23, StaticDiskHits: 24, StaticDiskBytesRead: 25, StaticDiskWrites: 26, PristineReplays: 27, PristineRecords: 28, StreamResolves: 29},
 			},
 			{
 				Shard:  5,

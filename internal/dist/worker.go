@@ -176,19 +176,24 @@ func serveConn(conn io.ReadWriter, opts serveOpts) error {
 			if err := eng.RemoveShards(shards); err != nil {
 				return bail(err)
 			}
-			// Answer with the dropped shards' packed statics so the
-			// migration destination lands warm. Always reply — empty
-			// when packing is off or the caches held nothing — so the
-			// coordinator can await the frame unconditionally.
-			if err := send(encodeShardStatics(eng.ExportStatics(shards))); err != nil {
+			// Answer with the dropped shards' packed statics and
+			// pristine-contribution sidecars so the migration destination
+			// lands warm. Always reply — empty when packing is off or the
+			// caches held nothing — so the coordinator can await the
+			// frame unconditionally.
+			var handoff shardStaticsMsg
+			handoff.Blobs = eng.ExportStatics(shards)
+			handoff.ScKinds, handoff.ScDests, handoff.ScPayloads = eng.ExportSidecars(shards)
+			if err := send(encodeShardStatics(&handoff)); err != nil {
 				return err
 			}
 		case frameShardStatics:
-			blobs, err := decodeShardStatics(buf)
-			if err != nil {
+			var handoff shardStaticsMsg
+			if err := decodeShardStatics(buf, &handoff); err != nil {
 				return bail(err)
 			}
-			eng.ImportStatics(blobs)
+			eng.ImportStatics(handoff.Blobs)
+			eng.ImportSidecars(handoff.ScKinds, handoff.ScDests, handoff.ScPayloads)
 		case frameRecompute:
 			if err := decodeRecompute(buf, &rec); err != nil {
 				return bail(err)

@@ -51,6 +51,10 @@ type Options struct {
 	// (sim.Config.NoPackedStatics). Performance only; results are
 	// bit-identical either way.
 	NoPackedStatics bool
+	// NoStreamResolve disables the fused streaming resolver and the
+	// pristine-contribution replay tier (sim.Config.NoStreamResolve).
+	// Performance only; results are bit-identical either way.
+	NoStreamResolve bool
 
 	// StaticPrefetch sets each simulation's per-shard static prefetch
 	// pipeline depth (sim.Config.StaticPrefetch; 0 = off). Performance
@@ -109,6 +113,7 @@ func (o Options) withDefaults() Options {
 		o.store.StaticPrefetch = o.StaticPrefetch
 		o.store.StaticStoreDir = o.StaticStoreDir
 		o.store.NoPackedStatics = o.NoPackedStatics
+		o.store.NoStreamResolve = o.NoStreamResolve
 		o.store.DistWorkers = o.DistWorkers
 		o.store.Rebalance = o.Rebalance
 	}

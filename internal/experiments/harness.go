@@ -142,6 +142,7 @@ func RunBatch(b BatchOptions) ([]RunStatus, error) {
 		store.StaticStoreDir = opt.StaticStoreDir
 	}
 	store.NoPackedStatics = opt.NoPackedStatics
+	store.NoStreamResolve = opt.NoStreamResolve
 	store.DistWorkers = opt.DistWorkers
 	store.Rebalance = opt.Rebalance
 	opt.store = store

@@ -53,6 +53,11 @@ type Store struct {
 	// the store. Performance only; results — and therefore cache keys —
 	// are unaffected.
 	NoPackedStatics bool
+	// NoStreamResolve disables the fused streaming resolver and the
+	// pristine-contribution replay tier (sim.Config.NoStreamResolve) in
+	// every simulation executed through the store. Performance only;
+	// results — and therefore cache keys — are unaffected.
+	NoStreamResolve bool
 
 	// StaticPrefetch sets the per-shard static prefetch pipeline depth
 	// (sim.Config.StaticPrefetch) of every simulation executed through
@@ -292,6 +297,9 @@ func (s *Store) Sim(g *asgraph.Graph, cfg sim.Config) (*sim.Result, SimRun, erro
 	}
 	if s.NoPackedStatics {
 		cfg.NoPackedStatics = true
+	}
+	if s.NoStreamResolve {
+		cfg.NoStreamResolve = true
 	}
 	// Serve statics from a per-graph shared store unless static caching
 	// is disabled outright (negative budget).

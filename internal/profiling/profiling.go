@@ -1,9 +1,10 @@
-// Package profiling wires the conventional -cpuprofile/-memprofile
-// flags into the repo's CLIs. It is a thin wrapper over runtime/pprof
-// kept in one place so both cmd/sbgpsim and cmd/experiments expose
-// identical semantics: the CPU profile covers everything between Start
-// and the returned stop function, and the heap profile is written at
-// stop after a final garbage collection (live objects, not churn).
+// Package profiling wires the conventional -cpuprofile/-memprofile/
+// -trace flags into the repo's CLIs. It is a thin wrapper over
+// runtime/pprof and runtime/trace kept in one place so both cmd/sbgpsim
+// and cmd/experiments expose identical semantics: the CPU profile and
+// execution trace cover everything between Start and the returned stop
+// function, and the heap profile is written at stop after a final
+// garbage collection (live objects, not churn).
 package profiling
 
 import (
@@ -11,16 +12,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
-// Start begins CPU profiling to cpuFile (when non-empty) and returns a
-// stop function that ends the CPU profile and, when memFile is
-// non-empty, writes a heap profile there after a forced GC. The stop
-// function must run on every exit path that should produce profiles —
-// call it via defer from a function that returns an exit code rather
-// than calling os.Exit directly. Either file name may be empty; with
-// both empty Start is a no-op and stop does nothing.
-func Start(cpuFile, memFile string) (stop func(), err error) {
+// Start begins CPU profiling to cpuFile and execution tracing to
+// traceFile (each when non-empty) and returns a stop function that ends
+// both and, when memFile is non-empty, writes a heap profile there
+// after a forced GC. The stop function must run on every exit path that
+// should produce profiles — call it via defer from a function that
+// returns an exit code rather than calling os.Exit directly. Any file
+// name may be empty; with all empty Start is a no-op and stop does
+// nothing.
+func Start(cpuFile, memFile, traceFile string) (stop func(), err error) {
 	var cpu *os.File
 	if cpuFile != "" {
 		cpu, err = os.Create(cpuFile)
@@ -32,10 +35,33 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
 	}
+	var tr *os.File
+	if traceFile != "" {
+		tr, err = os.Create(traceFile)
+		if err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(tr); err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			tr.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
 	return func() {
 		if cpu != nil {
 			pprof.StopCPUProfile()
 			cpu.Close()
+		}
+		if tr != nil {
+			trace.Stop()
+			tr.Close()
 		}
 		if memFile == "" {
 			return

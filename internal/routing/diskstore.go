@@ -74,15 +74,31 @@ import (
 // every segment on platforms without mmap) is served by pread.
 
 const (
-	// diskRecMagic starts every segment record ("SBS1", little endian).
+	// diskRecMagic starts every packed-static segment record
+	// ("SBS1", little endian).
 	diskRecMagic = 0x31534253
+	// diskSidecarMagic starts every pristine-contribution sidecar
+	// record ("SBS2"): same fixed header, but the dest field carries
+	// kind<<24|dest (sidecars are keyed per utility model; see
+	// sidecar.go). Sidecar records interleave with static records in
+	// the same append-only segments. Older readers, which know only
+	// SBS1, treat the first SBS2 header as a torn tail and stop the
+	// scan there — they lose the records behind it and recompute, which
+	// is the designed degradation, never a misread.
+	diskSidecarMagic = 0x32534253
+	// diskSidecarDestMax bounds a sidecar record's destination so it
+	// packs beside the kind in the header's dest field.
+	diskSidecarDestMax = 1 << 24
 	// diskIndexMagic starts index.bin ("SBSX").
 	diskIndexMagic = 0x58534253
 	// diskRecHeader is the fixed record header size: magic, dest,
 	// length, CRC-32C — four little-endian uint32s.
 	diskRecHeader = 16
 	// diskIndexVersion versions index.bin; bump on layout change.
-	diskIndexVersion = 1
+	// v2 added a per-record kind flag (0 = packed static, 1+kind =
+	// sidecar). A v1 index is discarded at open — the segments rescan,
+	// so the bump costs one scan, never correctness.
+	diskIndexVersion = 2
 	// indexFlushEvery bounds how many appended records an index
 	// snapshot may lag: a crash re-scans at most this many record
 	// headers per segment at next open. Rewriting the index is
@@ -132,16 +148,17 @@ type StaticDiskStore struct {
 	dir string
 	n   int32
 
-	mu     sync.RWMutex
-	index  map[int32]diskRec
-	segs   []*diskSegment // all open segments, writer last when present
-	w      *diskSegment   // this instance's append segment; nil until first Put
-	wOff   int64
-	wDead  bool // a write failed: this instance is read-only from now on
-	wbuf   []byte
-	dirty  int   // appends since the last index flush
-	writes int64 // lifetime appends by this instance
-	closed bool
+	mu      sync.RWMutex
+	index   map[int32]diskRec
+	scIndex map[int64]diskRec // sidecar records, keyed int64(kind)<<32|dest
+	segs    []*diskSegment    // all open segments, writer last when present
+	w       *diskSegment      // this instance's append segment; nil until first Put
+	wOff    int64
+	wDead   bool // a write failed: this instance is read-only from now on
+	wbuf    []byte
+	dirty   int   // appends since the last index flush
+	writes  int64 // lifetime appends by this instance
+	closed  bool
 }
 
 // diskStoreKey derives the per-(graph, tiebreaker) subdirectory name.
@@ -175,10 +192,11 @@ func openDiskStore(root string, g *asgraph.Graph, graphFP string, tb Tiebreaker)
 		return nil, fmt.Errorf("routing: disk store: %w", err)
 	}
 	st := &StaticDiskStore{
-		g:     g,
-		dir:   dir,
-		n:     int32(g.N()),
-		index: make(map[int32]diskRec),
+		g:       g,
+		dir:     dir,
+		n:       int32(g.N()),
+		index:   make(map[int32]diskRec),
+		scIndex: make(map[int64]diskRec),
 	}
 
 	// Meta check: the directory name already keys (graph, tiebreaker),
@@ -272,7 +290,12 @@ func (st *StaticDiskStore) openSegment(name string, covered int64, recs []indexR
 			r.dest < 0 || r.dest >= st.n {
 			continue
 		}
-		st.index[r.dest] = diskRec{seg: seg, off: r.off, len: r.len, crc: r.crc}
+		rec := diskRec{seg: seg, off: r.off, len: r.len, crc: r.crc}
+		if r.kflag == 0 {
+			st.index[r.dest] = rec
+		} else {
+			st.scIndex[diskSidecarKey(r.kflag-1, r.dest)] = rec
+		}
 	}
 	st.scanSegment(seg, covered, size)
 	return seg, nil
@@ -281,9 +304,10 @@ func (st *StaticDiskStore) openSegment(name string, covered int64, recs []indexR
 // scanSegment structurally walks seg's records in [from, to),
 // registering each well-formed one (last record wins — by determinism
 // every valid blob for a destination is identical, and last-wins lets
-// repair appends supersede corrupt records). The walk stops at the
-// first malformed header or overrun: everything beyond it is a torn
-// tail (or foreign garbage) and stays invisible.
+// repair appends supersede corrupt records). Static (SBS1) and sidecar
+// (SBS2) records interleave freely. The walk stops at the first
+// malformed header or overrun: everything beyond it is a torn tail (or
+// foreign garbage) and stays invisible.
 func (st *StaticDiskStore) scanSegment(seg *diskSegment, from, to int64) {
 	var hdr [diskRecHeader]byte
 	off := from
@@ -295,13 +319,37 @@ func (st *StaticDiskStore) scanSegment(seg *diskSegment, from, to int64) {
 		dest := binary.LittleEndian.Uint32(hdr[4:])
 		blen := binary.LittleEndian.Uint32(hdr[8:])
 		crc := binary.LittleEndian.Uint32(hdr[12:])
-		if magic != diskRecMagic || dest >= uint32(st.n) || blen == 0 ||
-			off+diskRecHeader+int64(blen) > to {
+		if blen == 0 || off+diskRecHeader+int64(blen) > to {
 			break
 		}
-		st.index[int32(dest)] = diskRec{seg: seg, off: off, len: int32(blen), crc: crc}
+		rec := diskRec{seg: seg, off: off, len: int32(blen), crc: crc}
+		switch magic {
+		case diskRecMagic:
+			if dest >= uint32(st.n) {
+				off = to // malformed: stop
+				continue
+			}
+			st.index[int32(dest)] = rec
+		case diskSidecarMagic:
+			kind := uint8(dest >> 24)
+			d := int32(dest & (diskSidecarDestMax - 1))
+			if d >= st.n {
+				off = to
+				continue
+			}
+			st.scIndex[diskSidecarKey(kind, d)] = rec
+		default:
+			off = to
+			continue
+		}
 		off += diskRecHeader + int64(blen)
 	}
+}
+
+// diskSidecarKey packs a sidecar record's (kind, dest) identity into
+// one index key.
+func diskSidecarKey(kind uint8, d int32) int64 {
+	return int64(kind)<<32 | int64(uint32(d))
 }
 
 // readAt fills buf from the segment at off, via the mapping or pread.
@@ -399,15 +447,28 @@ func (st *StaticDiskStore) Put(d int32, blob []byte) bool {
 	if _, ok := st.index[d]; ok {
 		return false
 	}
+	rec, ok := st.appendLocked(diskRecMagic, uint32(d), blob)
+	if !ok {
+		return false
+	}
+	st.index[d] = rec
+	st.afterAppendLocked()
+	return true
+}
+
+// appendLocked writes one record (header + blob) to this instance's
+// segment, returning its location. Callers hold the mutex, have
+// checked closed, and register the returned record themselves.
+func (st *StaticDiskStore) appendLocked(magic, destField uint32, blob []byte) (diskRec, bool) {
 	if st.w == nil {
 		if st.wDead || !st.openWriterLocked() {
 			st.wDead = true
-			return false
+			return diskRec{}, false
 		}
 	}
 	st.wbuf = st.wbuf[:0]
-	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, diskRecMagic)
-	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, uint32(d))
+	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, magic)
+	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, destField)
 	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, uint32(len(blob)))
 	crc := crc32.Checksum(blob, castagnoli)
 	st.wbuf = binary.LittleEndian.AppendUint32(st.wbuf, crc)
@@ -416,17 +477,120 @@ func (st *StaticDiskStore) Put(d int32, blob []byte) bool {
 		// A partial append is a torn tail: scans stop at it, and this
 		// instance stops appending to avoid interleaving garbage.
 		st.closeWriterLocked()
-		return false
+		return diskRec{}, false
 	}
-	st.index[d] = diskRec{seg: st.w, off: st.wOff, len: int32(len(blob)), crc: crc}
+	rec := diskRec{seg: st.w, off: st.wOff, len: int32(len(blob)), crc: crc}
 	st.wOff += int64(len(st.wbuf))
 	st.w.size = st.wOff
+	return rec, true
+}
+
+// afterAppendLocked advances the write counters and flushes the index
+// snapshot when due.
+func (st *StaticDiskStore) afterAppendLocked() {
 	st.writes++
 	st.dirty++
 	if st.dirty >= indexFlushEvery {
 		st.flushIndexLocked()
 	}
+}
+
+// PutSidecar appends a pristine-contribution sidecar record for
+// (kind, d) unless one is already registered, reporting whether bytes
+// were written. The destination must fit beside the kind in the header
+// (d < 2^24 — comfortably above any graph this simulator runs).
+func (st *StaticDiskStore) PutSidecar(kind uint8, d int32, payload []byte) bool {
+	if st == nil || len(payload) == 0 || d < 0 || d >= st.n || d >= diskSidecarDestMax {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	key := diskSidecarKey(kind, d)
+	if _, ok := st.scIndex[key]; ok {
+		return false
+	}
+	rec, ok := st.appendLocked(diskSidecarMagic, uint32(kind)<<24|uint32(d), payload)
+	if !ok {
+		return false
+	}
+	st.scIndex[key] = rec
+	st.afterAppendLocked()
 	return true
+}
+
+// LookupSidecar returns the sidecar payload stored for (kind, d), or
+// nil. Same trust discipline as Lookup: the CRC is verified here, the
+// payload's own embedded (dest, kind) are cross-checked against the
+// index key, and callers still run the fully validating DecodeSidecar
+// — any failure there is reported via DropSidecar so the record can be
+// repaired. A nil store always misses.
+func (st *StaticDiskStore) LookupSidecar(kind uint8, d int32) []byte {
+	if st == nil {
+		return nil
+	}
+	st.mu.RLock()
+	rec, ok := st.scIndex[diskSidecarKey(kind, d)]
+	closed := st.closed
+	st.mu.RUnlock()
+	if !ok || closed {
+		return nil
+	}
+	var b []byte
+	if rec.seg.data != nil {
+		b = rec.seg.data[rec.off+diskRecHeader : rec.off+diskRecHeader+int64(rec.len)]
+	} else {
+		b = make([]byte, rec.len)
+		if !rec.seg.readAt(b, rec.off+diskRecHeader) {
+			st.DropSidecar(kind, d)
+			return nil
+		}
+	}
+	if crc32.Checksum(b, castagnoli) != rec.crc {
+		st.DropSidecar(kind, d)
+		return nil
+	}
+	if sd, sk, ok := SidecarDest(b); !ok || sd != d || sk != kind {
+		st.DropSidecar(kind, d)
+		return nil
+	}
+	return b
+}
+
+// HasSidecar reports whether a sidecar record for (kind, d) is
+// registered (without verifying its CRC). A nil store has nothing.
+func (st *StaticDiskStore) HasSidecar(kind uint8, d int32) bool {
+	if st == nil {
+		return false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.scIndex[diskSidecarKey(kind, d)]
+	return ok && !st.closed
+}
+
+// DropSidecar forgets the sidecar record for (kind, d) — a failed CRC
+// or decode — so a later PutSidecar appends a fresh one.
+func (st *StaticDiskStore) DropSidecar(kind uint8, d int32) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.scIndex, diskSidecarKey(kind, d))
+}
+
+// SidecarEntries returns the number of sidecar records currently
+// served.
+func (st *StaticDiskStore) SidecarEntries() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.scIndex)
 }
 
 // PutStatic encodes s (which must carry winners — a PrepareDest or
@@ -547,16 +711,19 @@ func (st *StaticDiskStore) Close() error {
 		seg.f.Close()
 	}
 	st.index = map[int32]diskRec{}
+	st.scIndex = map[int64]diskRec{}
 	st.w = nil
 	return nil
 }
 
-// indexRec is one record entry in index.bin.
+// indexRec is one record entry in index.bin. kflag distinguishes the
+// record kinds: 0 is a packed static, k+1 is a sidecar of kind k.
 type indexRec struct {
-	dest int32
-	off  int64
-	len  int32
-	crc  uint32
+	dest  int32
+	off   int64
+	len   int32
+	crc   uint32
+	kflag uint8
 }
 
 // flushIndexLocked atomically replaces index.bin with a snapshot of
@@ -567,10 +734,15 @@ func (st *StaticDiskStore) flushIndexLocked() {
 	for d, r := range st.index {
 		bySeg[r.seg] = append(bySeg[r.seg], indexRec{dest: d, off: r.off, len: r.len, crc: r.crc})
 	}
+	for k, r := range st.scIndex {
+		bySeg[r.seg] = append(bySeg[r.seg], indexRec{
+			dest: int32(uint32(k)), off: r.off, len: r.len, crc: r.crc, kflag: uint8(k>>32) + 1,
+		})
+	}
 	segs := append([]*diskSegment(nil), st.segs...)
 	sort.Slice(segs, func(i, j int) bool { return segs[i].name < segs[j].name })
 
-	buf := make([]byte, 0, 16+20*len(st.index))
+	buf := make([]byte, 0, 16+21*(len(st.index)+len(st.scIndex)))
 	buf = binary.LittleEndian.AppendUint32(buf, diskIndexMagic)
 	buf = binary.LittleEndian.AppendUint32(buf, diskIndexVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(segs)))
@@ -582,6 +754,7 @@ func (st *StaticDiskStore) flushIndexLocked() {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.size))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
 		for _, r := range recs {
+			buf = append(buf, r.kflag)
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.dest))
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(r.off))
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.len))
@@ -645,6 +818,11 @@ func loadDiskIndex(path string, covered map[string]int64, indexed map[string][]i
 		}
 		recs := make([]indexRec, 0, nRecs)
 		for r := uint32(0); r < nRecs; r++ {
+			if off >= len(body) {
+				return
+			}
+			kf := body[off]
+			off++
 			dest, ok1 := u32()
 			ro, ok2 := u64()
 			rl, ok3 := u32()
@@ -652,7 +830,7 @@ func loadDiskIndex(path string, covered map[string]int64, indexed map[string][]i
 			if !ok1 || !ok2 || !ok3 || !ok4 || ro > 1<<62 || rl > 1<<31-1 {
 				return
 			}
-			recs = append(recs, indexRec{dest: int32(dest), off: int64(ro), len: int32(rl), crc: rc})
+			recs = append(recs, indexRec{dest: int32(dest), off: int64(ro), len: int32(rl), crc: rc, kflag: kf})
 		}
 		cov[name] = int64(cvd)
 		idx[name] = recs

@@ -1,0 +1,105 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/asgraph/asgraphtest"
+)
+
+// fuzzGraph builds the fixed small graph both fuzz targets decode
+// against, plus one valid blob per destination as seed corpus. The
+// graph must be deterministic: corpus entries found by one run have to
+// reproduce on the next.
+func fuzzGraph() (*asgraph.Graph, HashTiebreaker, [][]byte) {
+	rng := rand.New(rand.NewSource(71))
+	g := asgraphtest.Random(rng, 24, 0.15, 0.1, 0.25)
+	tb := HashTiebreaker{Seed: 71}
+	w := NewWorkspace(g)
+	blobs := make([][]byte, g.N())
+	for d := int32(0); d < int32(g.N()); d++ {
+		blobs[d] = AppendPacked(nil, w.PrepareDest(d, tb), g)
+	}
+	return g, tb, blobs
+}
+
+// FuzzDecodePacked: DecodePacked must never panic on arbitrary bytes,
+// and whatever it accepts must re-encode and survive a resolve — the
+// same obligations the corruption sweeps check exhaustively for
+// near-valid inputs, here probed over coverage-guided mutations.
+func FuzzDecodePacked(f *testing.F) {
+	g, tb, blobs := fuzzGraph()
+	for _, b := range blobs {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{packedMagic})
+	n := g.N()
+	w := NewWorkspace(g)
+	sec, brk := make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i += 3 {
+		sec[i] = true
+		brk[i] = i%2 == 0
+	}
+	var tree Tree
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := w.DecodePacked(data)
+		if err != nil {
+			return
+		}
+		// Accepted blobs must be internally consistent enough to resolve.
+		if s.Dest < 0 || s.Dest >= int32(n) {
+			t.Fatalf("decoded dest %d out of range", s.Dest)
+		}
+		tree.Clear(n)
+		w.ResolveInto(&tree, s, sec, brk, nil, nil, tb)
+	})
+}
+
+// FuzzStreamResolve: the fused streaming resolver walks untrusted bytes
+// with hand-rolled varint reads and bitset writes — it must never panic,
+// and any blob it accepts must produce the same tree as the
+// decode-then-resolve reference path (the bit-identity invariant the
+// engine's tier dispatch relies on).
+func FuzzStreamResolve(f *testing.F) {
+	g, tb, blobs := fuzzGraph()
+	for _, b := range blobs {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{packedMagic})
+	n := int32(g.N())
+	sr := NewStreamStatic(g)
+	w := NewWorkspace(g)
+	sec, brk := make([]bool, n), make([]bool, n)
+	for i := int32(0); i < n; i += 2 {
+		sec[i] = true
+		brk[i] = i%4 == 0
+	}
+	var tree Tree
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := sr.Resolve(data, sec, brk, tb); err != nil {
+			if sr.Dest() != -1 || len(sr.Order()) != 0 {
+				t.Fatal("scratch not cleared after resolve error")
+			}
+			return
+		}
+		// DecodePacked (full validation) may reject what the trusted-grade
+		// streaming walk accepted; when both accept, results must agree.
+		s, err := w.DecodePacked(data)
+		if err != nil {
+			return
+		}
+		tree.Clear(int(n))
+		w.ResolveInto(&tree, s, sec, brk, nil, nil, tb)
+		for k, i := range sr.Order() {
+			if sr.Parents()[k] != tree.Parent[i] {
+				t.Fatalf("node %d: stream parent %d, reference %d", i, sr.Parents()[k], tree.Parent[i])
+			}
+			if sr.Secure(i) != tree.Secure[i] {
+				t.Fatalf("node %d: stream secure %v, reference %v", i, sr.Secure(i), tree.Secure[i])
+			}
+		}
+	})
+}

@@ -134,6 +134,15 @@ func (w *Workspace) ResolveInto(t *Tree, s *Static, secure, breaks []bool, flipp
 		sec := t.Secure[:n]
 		clear(sec)
 		sec[s.Dest] = dSec
+		if !dSec {
+			// Secure flags propagate from the destination: with it
+			// insecure no path can be fully secure, so every SecP
+			// restriction is empty and every node keeps its plain-TB
+			// winner — the whole-array copy above already wrote the
+			// final tree and the per-node loop would only re-store
+			// cleared flags.
+			return
+		}
 		win := s.win
 		for k, i := range s.order {
 			// Insecure nodes keep the cleared flag — no store needed.

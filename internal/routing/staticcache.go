@@ -197,6 +197,16 @@ type StaticCache struct {
 	arena         staticArena
 	scratch       []byte
 
+	// sidecars holds pristine-contribution records (sidecar.go) keyed by
+	// (kind, dest) — a destination may carry one vector per utility
+	// model. They share the blob arena and the byte budget with the
+	// statics but not the eviction machinery: a sidecar is a few dozen
+	// bytes against a multi-KB static, so admissions that would overflow
+	// are simply rejected (the consumer recomputes) rather than evicting
+	// statics whose recompute is orders of magnitude dearer.
+	sidecars     map[int64][]byte
+	sidecarBytes int64
+
 	// spill, when set, observes every evicted entry (exactly one of
 	// blob/snap non-nil) before it is dropped — the hook the engine uses
 	// to divert eviction victims into the persistent disk tier instead
@@ -458,6 +468,105 @@ func (c *StaticCache) insert(d int32, e cacheEntry) {
 	c.bytes += e.charged
 }
 
+// GetBlob returns the raw packed blob cached for destination d, or nil
+// when d is absent or stored unpacked. The bytes alias the arena and
+// are read-only. This is the streaming resolver's entry point: it walks
+// the blob directly, skipping the workspace decode a Get performs.
+func (c *StaticCache) GetBlob(d int32) []byte {
+	if c == nil {
+		return nil
+	}
+	return c.entries[d].blob
+}
+
+// sidecarKey packs a sidecar's (kind, dest) identity into one map key.
+func sidecarKey(kind uint8, d int32) int64 {
+	return int64(kind)<<32 | int64(uint32(d))
+}
+
+// SidecarPut admits a pristine-contribution sidecar payload for
+// (kind, d), copying it into the arena and charging the shared budget.
+// Duplicates and over-budget admissions are rejected (the consumer
+// recomputes); rejection never evicts statics. Returns whether the
+// payload was stored. The payload must be a valid sidecar encoding —
+// callers encode with AppendSidecar or validate imports via
+// DecodeSidecar first.
+func (c *StaticCache) SidecarPut(kind uint8, d int32, payload []byte) bool {
+	if c == nil || len(payload) == 0 {
+		return false
+	}
+	k := sidecarKey(kind, d)
+	if _, ok := c.sidecars[k]; ok {
+		return false
+	}
+	sz := int64(len(payload)) + entryOverhead
+	if c.bytes+sz > c.budget {
+		return false
+	}
+	if c.sidecars == nil {
+		c.sidecars = make(map[int64][]byte)
+	}
+	c.sidecars[k] = c.arena.place(payload)
+	c.bytes += sz
+	c.sidecarBytes += int64(len(payload))
+	return true
+}
+
+// SidecarGet returns the sidecar payload stored for (kind, d), or nil.
+// The bytes alias the arena and are read-only.
+func (c *StaticCache) SidecarGet(kind uint8, d int32) []byte {
+	if c == nil {
+		return nil
+	}
+	return c.sidecars[sidecarKey(kind, d)]
+}
+
+// SidecarDrop forgets the sidecar for (kind, d) — the response to a
+// decode failure on an imported payload, so a later Put can repair it.
+func (c *StaticCache) SidecarDrop(kind uint8, d int32) {
+	if c == nil {
+		return
+	}
+	k := sidecarKey(kind, d)
+	if p, ok := c.sidecars[k]; ok {
+		delete(c.sidecars, k)
+		c.bytes -= int64(len(p)) + entryOverhead
+		c.sidecarBytes -= int64(len(p))
+	}
+}
+
+// SidecarBytes returns the payload bytes of stored sidecars.
+func (c *StaticCache) SidecarBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.sidecarBytes
+}
+
+// SidecarEntries returns the number of stored sidecars.
+func (c *StaticCache) SidecarEntries() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.sidecars)
+}
+
+// ExportSidecars returns every stored sidecar payload keyed by
+// (kind, dest), in unspecified order: the warm-handoff payload
+// extension for dist shard migration. The blobs alias the arena —
+// read-only and short-lived.
+func (c *StaticCache) ExportSidecars() (kinds []uint8, dests []int32, payloads [][]byte) {
+	if c == nil {
+		return nil, nil, nil
+	}
+	for k, p := range c.sidecars {
+		kinds = append(kinds, uint8(k>>32))
+		dests = append(dests, int32(uint32(k)))
+		payloads = append(payloads, p)
+	}
+	return kinds, dests, payloads
+}
+
 // ExportPacked returns every cached entry as a packed blob, in
 // admission order: the warm-handoff payload for dist shard migration.
 // Unpacked entries are encoded on demand (requires a graph-bound
@@ -678,6 +787,65 @@ func (sc *SharedStaticCache) Add(w *Workspace, s *Static) *Static {
 	}
 	got := sc.c.Add(s)
 	return got
+}
+
+// GetBlob returns the raw packed blob published for destination d, or
+// nil when d is absent or stored unpacked. Published blobs are
+// immutable, so the returned bytes are safe to read without further
+// synchronization.
+func (sc *SharedStaticCache) GetBlob(d int32) []byte {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.GetBlob(d)
+}
+
+// AddBlob publishes already-packed bytes for destination d, budget
+// permitting. The bytes are copied into the shared arena; the caller
+// keeps ownership of blob. Used by the streaming resolve path, which
+// holds a validated blob and no decoded snapshot to Add.
+func (sc *SharedStaticCache) AddBlob(d int32, blob []byte) bool {
+	if sc == nil {
+		return false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.c.addBlobBytes(d, blob)
+}
+
+// SidecarPut publishes a sidecar payload for (kind, d), budget
+// permitting. The payload is copied; the caller keeps ownership.
+func (sc *SharedStaticCache) SidecarPut(kind uint8, d int32, payload []byte) bool {
+	if sc == nil {
+		return false
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.c.SidecarPut(kind, d, payload)
+}
+
+// SidecarGet returns the published sidecar payload for (kind, d), or
+// nil. Published payloads are immutable — safe to read lock-free after
+// return.
+func (sc *SharedStaticCache) SidecarGet(kind uint8, d int32) []byte {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.RLock()
+	defer sc.mu.RUnlock()
+	return sc.c.SidecarGet(kind, d)
+}
+
+// SidecarDrop forgets the published sidecar for (kind, d).
+func (sc *SharedStaticCache) SidecarDrop(kind uint8, d int32) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.c.SidecarDrop(kind, d)
 }
 
 // Bytes returns the accounted size of all published snapshots.

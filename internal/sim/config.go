@@ -238,6 +238,23 @@ type Config struct {
 	// excluded from Fingerprint.
 	NoPackedStatics bool
 
+	// NoStreamResolve disables the fused streaming tiers over warm
+	// static data: the pristine-contribution sidecar replay (no sidecars
+	// are recorded or replayed) and the streaming resolver that walks
+	// packed blobs without materializing a workspace decode. With it set
+	// every destination takes the decode → resolve → accumulate path, as
+	// before. The zero value — streaming on — is what warm paper-scale
+	// runs want: base-only sweeps over an insecure deployment state skip
+	// per-destination resolution entirely.
+	//
+	// Purely a performance knob: the streaming resolver decides nodes
+	// with decideNode's procedure over the same packed bytes (see
+	// routing/stream.go), and a sidecar replays the float64 bit patterns
+	// the fresh support loop would add in the same order (see
+	// routing/sidecar.go), so every Result is bit-identical at either
+	// setting and the field is excluded from Fingerprint.
+	NoStreamResolve bool
+
 	// RecordUtilities, when true, stores every ISP's utility and
 	// projected utility for every round in the Result (needed for the
 	// paper's Figures 4, 5 and 14). Costs two float64 per AS per round.

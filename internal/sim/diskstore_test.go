@@ -90,9 +90,10 @@ func TestDiskStoreResultInvariant(t *testing.T) {
 		t.Errorf("restart-warm: %d bytes read", r)
 	}
 
-	// Corruption: rot a spread of bytes across every segment file (and
-	// the index), restart, and run again. Some records fail their CRC
-	// and recompute; bits must not move.
+	// Corruption: rot a dense spread of bytes across every segment file,
+	// restart, and run again. The stride is smaller than any record —
+	// static blob or contribution sidecar — so every stored record fails
+	// its CRC and recomputes; bits must not move.
 	routing.CloseSharedDiskStores()
 	segs, err := filepath.Glob(filepath.Join(root, "statics-v1-*", "seg-*.log"))
 	if err != nil || len(segs) == 0 {
@@ -103,7 +104,7 @@ func TestDiskStoreResultInvariant(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for at := 13; at < len(raw); at += 251 {
+		for at := 13; at < len(raw); at += 13 {
 			raw[at] ^= 0xFF
 		}
 		if err := os.WriteFile(path, raw, 0o644); err != nil {

@@ -427,6 +427,9 @@ func (s *Sim) computeRound(st *deployState, candidates []bool) (uBase, uProj []f
 		stats.StaticDiskHits = sum.StaticDiskHits
 		stats.StaticDiskBytesRead = sum.StaticDiskBytesRead
 		stats.StaticDiskWrites = sum.StaticDiskWrites
+		stats.PristineReplays = sum.PristineReplays
+		stats.PristineRecords = sum.PristineRecords
+		stats.StreamResolves = sum.StreamResolves
 		stats.ShardWallMax, stats.ShardWallMin, stats.StragglerRatio = shardTiming(partials)
 		// A graph-level shared static store is not owned by any shard;
 		// count it once on top of the per-shard private caches (which
@@ -482,6 +485,10 @@ type roundCtx struct {
 	candList []int32
 	cfg      *Config
 	weights  []float64
+	// candMark marks candList membership by node index (always non-nil
+	// when candList is nonempty): the O(1) test destUntouchable and the
+	// prefetcher use to prove a destination needs no projection scratch.
+	candMark []bool
 
 	// Realized flips dynPrev → st (empty when the states coincide or
 	// the cache holds no records). prevSecure/prevBreaks are the flags
@@ -537,6 +544,21 @@ type worker struct {
 	witMark     []bool // dedup marks while building a record's witness
 	witCap      int    // witness size cap: n/4 plus slack
 	stats       workerStats
+
+	// Streaming-resolve and pristine-replay state (see processDest's
+	// tier dispatch). stream is the fused blob-walk resolver's scratch,
+	// built lazily on the first streamed destination; scEntries/scBuf/
+	// scPayload are the sidecar record/decode/encode buffers; preStash
+	// parks a prefetch item streamResolve consumed but could not use
+	// (snapshot form) for fetchStatic to pick up; recordSC marks the
+	// current destination for sidecar recording on the normal path.
+	stream     *routing.StreamStatic
+	scEntries  []routing.SidecarEntry
+	scBuf      []routing.SidecarEntry
+	scPayload  []byte
+	preStash   prefItem
+	preStashed bool
+	recordSC   bool
 }
 
 // workerStats counts this worker's share of the round's resolution work;
@@ -568,6 +590,14 @@ type workerStats struct {
 	staticDiskHits      int64
 	staticDiskBytesRead int64
 	staticDiskWrites    int64
+
+	// Streaming-tier traffic: destinations served by a sidecar replay
+	// (Tier A) or a fused streaming resolve (Tier B), and sidecars
+	// recorded. A pristine replay skips resolution entirely, so it is
+	// counted instead of — not on top of — baseResolutions.
+	pristineReplays int64
+	pristineRecords int64
+	streamResolves  int64
 }
 
 func newWorker(g *asgraph.Graph, n int) *worker {
@@ -610,134 +640,54 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 	weights := rc.weights
 	g := wk.ws.Graph()
 	n := g.N()
-	// Static routing information is deployment-state independent
-	// (Observation C.1): serve it from the worker's snapshot cache when
-	// possible and run the three-stage BFS only on a miss. On a miss the
-	// fresh snapshot is admitted budget permitting and used directly, so
-	// the lazily built delta index lands on the cached copy.
-	stc := wk.cache.Get(d, wk.ws)
-	if stc == nil {
-		stc = wk.shared.Get(d, wk.ws)
-	}
-	if stc != nil {
-		wk.stats.staticHits++
-		if wk.pf != nil && wk.pf.discard(d) {
-			// The pipeline computed a destination the cache ended up
-			// serving anyway (a shared store fed by a concurrent worker).
-			wk.stats.prefetchWasted++
-		}
-	} else {
-		// On a miss, prefer the prefetch pipeline's ready-made result
-		// over running the three-stage BFS inline — same bytes either way
-		// (statics depend only on graph and destination), admitted under
-		// the same budget rules by this same consumer. Once the cache has
-		// repacked, the pipeline hands over packed blobs instead of full
-		// snapshots; a decoded blob reproduces PrepareDest's output
-		// exactly (see packed.go), so the resolution inputs are identical
-		// in every combination. With a disk tier bound
-		// (Config.StaticStoreDir) the pipeline also streams stored blobs
-		// (fromDisk), and destinations the pipeline missed consult the
-		// tier inline — every disk blob is CRC-checked by Lookup and
-		// structurally validated by the decode, and any failure drops the
-		// record and falls back to the BFS, so corruption can cost time,
-		// never bits.
-		var pre prefItem
-		havePre := false
-		if wk.pf != nil {
-			pre, havePre = wk.pf.take(d)
-		}
-		var blobUsed []byte // packed bytes stc was decoded from, if any
-		fromDisk := false
-		if havePre && pre.blob != nil {
-			// Trusted decode: pipeline-built blobs were encoded in this
-			// process, and disk-read ones passed Lookup's CRC — either way
-			// the 2^-32 residual risk of an in-range-but-wrong field is
-			// carried by the checksum, not by per-member revalidation.
-			var err error
-			stc, err = wk.ws.DecodePackedTrusted(pre.blob)
-			if err != nil {
-				// Pipeline-built blobs can't be corrupt, but disk-read
-				// ones can: drop the poisoned record (the write-through
-				// below repairs it) and fall back to the inline build.
-				if pre.fromDisk {
-					wk.disk.Drop(d)
-				}
-				havePre = false
-			} else {
-				blobUsed = pre.blob
-				fromDisk = pre.fromDisk
+
+	// Dynamic cache first: a record's tree must be advanced across every
+	// round's realized flips to stay valid, so recorded destinations
+	// always take the record machinery below. Record-less destinations
+	// whose round provably needs no projection scratch — base passes, or
+	// candidate rounds where destUntouchable shows every candidate is
+	// pruned by the C.4 rules before any tree is read — are served by the
+	// streaming tiers instead: replaying the destination's recorded
+	// pristine-contribution sidecar (Tier A, insecure destinations only),
+	// or a fused streaming resolve straight over a packed blob (Tier B).
+	// Both are bit-identical to the normal path by construction (see
+	// routing/stream.go and routing/sidecar.go); on any miss or decode
+	// failure they fall through to the normal path.
+	rec := wk.dyn.get(d)
+	wk.recordSC = false
+	if rec == nil && !cfg.NoStreamResolve {
+		insecure := !st.secure[d]
+		if len(rc.candList) == 0 || wk.destUntouchable(d, rc) {
+			if insecure && wk.replaySidecar(d, rc) {
+				return
 			}
-		} else if havePre {
-			stc = pre.snap
-		}
-		if stc == nil && wk.disk != nil {
-			if blob := wk.disk.Lookup(d); blob != nil {
-				if s, err := wk.ws.DecodePackedTrusted(blob); err == nil {
-					stc = s
-					blobUsed = blob
-					fromDisk = true
-				} else {
-					wk.disk.Drop(d)
-				}
+			if wk.streamResolve(d, rc, insecure) {
+				return
 			}
 		}
-		if stc == nil {
-			stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
-		}
-		if havePre {
-			wk.stats.prefetchHits++
-		}
-		if fromDisk {
-			// Served by the disk tier: the BFS was skipped, so this is
-			// counted as a disk hit, not a static miss.
-			wk.stats.staticDiskHits++
-			wk.stats.staticDiskBytesRead += int64(len(blobUsed))
-		} else if wk.shared != nil || wk.cache != nil {
-			wk.stats.staticMisses++
-		}
-		// Write-through: persist every freshly computed static (inline
-		// or pipeline-built) so this (graph, tiebreaker, destination)
-		// never pays the BFS again — in any later round, Run, simulation
-		// or process. Pipeline blobs are persisted as-is, no re-encode.
-		if wk.disk != nil && !fromDisk {
-			var wrote bool
-			if blobUsed != nil {
-				wrote = wk.disk.Put(d, blobUsed)
-			} else {
-				wrote = wk.disk.PutStatic(stc)
-			}
-			if wrote {
-				wk.stats.staticDiskWrites++
-			}
-		}
-		switch {
-		case wk.shared != nil:
-			if snap := wk.shared.Add(wk.ws, stc); snap != nil {
-				stc = snap
-			}
-		case wk.cache != nil:
-			switch {
-			case blobUsed != nil && wk.cache.Packed():
-				// The packed bytes are already built: admit them as-is —
-				// no re-encode, no snapshot copy, and (pre-repack) no
-				// share of the eventual repack pass.
-				wk.cache.AddBlob(d, blobUsed)
-			case havePre && !fromDisk && pre.snap != nil:
-				// Already a self-contained snapshot: admit it as-is.
-				wk.cache.AddOwned(stc)
-			default:
-				if snap := wk.cache.Add(stc); snap != nil {
-					stc = snap
-				}
-			}
-		}
+		// An insecure destination's base contributions are pristine —
+		// state-independent — whichever path computes them: have the
+		// normal path record the sidecar it is about to compute anyway,
+		// so later rounds, Runs and processes replay it instead.
+		wk.recordSC = insecure && wk.sidecarWanted(uint8(cfg.Model), d)
 	}
 
+	// Static routing information is deployment-state independent
+	// (Observation C.1), served by fetchStatic — lazily, because a clean
+	// dynamic replay and the guarded advanceRecord fast path need no
+	// static at all.
+	var stc *routing.Static
+	getStatic := func() *routing.Static {
+		if stc == nil {
+			stc = wk.fetchStatic(d, rc)
+		}
+		return stc
+	}
+
+	tree := &wk.baseTree
 	// Dynamic cache: advance the record's tree across the realized flips
 	// and replay the memoized contributions if nothing they depend on
 	// moved (see dyncache.go for the validity argument).
-	rec := wk.dyn.get(d)
-	tree := &wk.baseTree
 	treeCurrent := false
 	// baseValid: the record's memoized base contributions still match
 	// the (advanced) tree — no parent moved since they were recorded —
@@ -757,7 +707,7 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 			// everything conservatively invalidated.
 			parentsChanged, treeChanged, hit = true, true, true
 		} else {
-			parentsChanged, treeChanged, hit = wk.advanceRecord(rec, stc, rc)
+			parentsChanged, treeChanged, hit = wk.advanceRecord(rec, getStatic, rc)
 			treeCurrent = true
 		}
 		if len(rc.candList) == 0 {
@@ -767,6 +717,10 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 				}
 				if treeChanged || hit {
 					rec.deltasValid = false
+				}
+				if wk.pf != nil && wk.pf.discard(d) {
+					// Replay needs no static: release the pipeline's item.
+					wk.stats.prefetchWasted++
 				}
 				wk.stats.dynClean++
 				return
@@ -780,6 +734,9 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 				wk.uDelta[e.node] += e.val
 			}
 			rec.dirtyStreak = 0
+			if wk.pf != nil && wk.pf.discard(d) {
+				wk.stats.prefetchWasted++
+			}
 			wk.stats.dynClean++
 			return
 		} else {
@@ -799,6 +756,8 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		wk.stats.dynDirty++
 	}
 
+	// Every remaining path reads the static: force the lazy fetch.
+	getStatic()
 	if !treeCurrent {
 		// ResolveInto's winner fast path covers every tree entry itself;
 		// only winner-less statics need the pre-clear (defensive — every
@@ -841,12 +800,24 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 		if recBase {
 			rec.base = rec.base[:0]
 		}
+		if wk.recordSC {
+			wk.scEntries = wk.scEntries[:0]
+		}
 		for _, i := range support {
 			v := wk.contribution(cfg.Model, stc, wk.accBase, wk.incBase, weights, i)
 			wk.uBase[i] += v
 			if recBase && v != 0 {
 				rec.base = append(rec.base, contribEntry{i, v})
 			}
+			if wk.recordSC && v != 0 {
+				wk.scEntries = append(wk.scEntries,
+					routing.SidecarEntry{Node: i, Bits: math.Float64bits(v)})
+			}
+		}
+		if wk.recordSC {
+			// The destination is insecure, so these are its pristine
+			// contributions: record them for sidecar replay.
+			wk.storeSidecar(uint8(cfg.Model), d, n)
 		}
 	}
 
@@ -980,6 +951,394 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 	}
 }
 
+// fetchStatic serves destination d's static snapshot: worker or shared
+// cache first, then a prefetch-pipeline item (one parked by
+// streamResolve included), then the disk tier, and the inline
+// three-stage BFS last — admitting and write-through persisting fresh
+// results so this (graph, tiebreaker, destination) never pays the BFS
+// again in any later round, Run, simulation or process. Same bytes in
+// every combination: a decoded blob reproduces PrepareDest's output
+// exactly (see packed.go), disk blobs are CRC-checked by Lookup and
+// structurally validated by the decode, and any failure drops the
+// record and falls back to the BFS — corruption can cost time, never
+// bits.
+func (wk *worker) fetchStatic(d int32, rc *roundCtx) *routing.Static {
+	cfg := rc.cfg
+	stc := wk.cache.Get(d, wk.ws)
+	if stc == nil {
+		stc = wk.shared.Get(d, wk.ws)
+	}
+	if stc != nil {
+		wk.stats.staticHits++
+		if wk.pf != nil && wk.pf.discard(d) {
+			// The pipeline computed a destination the cache ended up
+			// serving anyway (a shared store fed by a concurrent worker).
+			wk.stats.prefetchWasted++
+		}
+		return stc
+	}
+	var pre prefItem
+	havePre := false
+	if wk.preStashed {
+		// streamResolve already took d's pipeline item but could not use
+		// its snapshot form: consume the parked item, not a second take.
+		pre, havePre = wk.preStash, true
+		wk.preStash = prefItem{}
+		wk.preStashed = false
+	} else if wk.pf != nil {
+		pre, havePre = wk.pf.take(d)
+	}
+	var blobUsed []byte // packed bytes stc was decoded from, if any
+	fromDisk := false
+	if havePre && pre.blob != nil {
+		// Trusted decode: pipeline-built blobs were encoded in this
+		// process, and disk-read ones passed Lookup's CRC — either way
+		// the 2^-32 residual risk of an in-range-but-wrong field is
+		// carried by the checksum, not by per-member revalidation.
+		var err error
+		stc, err = wk.ws.DecodePackedTrusted(pre.blob)
+		if err != nil {
+			// Pipeline-built blobs can't be corrupt, but disk-read
+			// ones can: drop the poisoned record (the write-through
+			// below repairs it) and fall back to the inline build.
+			if pre.fromDisk {
+				wk.disk.Drop(d)
+			}
+			havePre = false
+		} else {
+			blobUsed = pre.blob
+			fromDisk = pre.fromDisk
+		}
+	} else if havePre {
+		stc = pre.snap
+	}
+	if stc == nil && wk.disk != nil {
+		if blob := wk.disk.Lookup(d); blob != nil {
+			if s, err := wk.ws.DecodePackedTrusted(blob); err == nil {
+				stc = s
+				blobUsed = blob
+				fromDisk = true
+			} else {
+				wk.disk.Drop(d)
+			}
+		}
+	}
+	if stc == nil {
+		stc = wk.ws.PrepareDest(d, cfg.Tiebreaker)
+	}
+	if havePre {
+		wk.stats.prefetchHits++
+	}
+	if fromDisk {
+		// Served by the disk tier: the BFS was skipped, so this is
+		// counted as a disk hit, not a static miss.
+		wk.stats.staticDiskHits++
+		wk.stats.staticDiskBytesRead += int64(len(blobUsed))
+	} else if wk.shared != nil || wk.cache != nil {
+		wk.stats.staticMisses++
+	}
+	// Write-through: persist every freshly computed static (inline or
+	// pipeline-built). Pipeline blobs are persisted as-is, no re-encode.
+	if wk.disk != nil && !fromDisk {
+		var wrote bool
+		if blobUsed != nil {
+			wrote = wk.disk.Put(d, blobUsed)
+		} else {
+			wrote = wk.disk.PutStatic(stc)
+		}
+		if wrote {
+			wk.stats.staticDiskWrites++
+		}
+	}
+	switch {
+	case wk.shared != nil:
+		if snap := wk.shared.Add(wk.ws, stc); snap != nil {
+			stc = snap
+		}
+	case wk.cache != nil:
+		switch {
+		case blobUsed != nil && wk.cache.Packed():
+			// The packed bytes are already built: admit them as-is —
+			// no re-encode, no snapshot copy, and (pre-repack) no
+			// share of the eventual repack pass.
+			wk.cache.AddBlob(d, blobUsed)
+		case havePre && !fromDisk && pre.snap != nil:
+			// Already a self-contained snapshot: admit it as-is.
+			wk.cache.AddOwned(stc)
+		default:
+			if snap := wk.cache.Add(stc); snap != nil {
+				stc = snap
+			}
+		}
+	}
+	return stc
+}
+
+// destUntouchable reports whether, in a candidate round, every
+// candidate is provably skipped for destination d without reading its
+// resolved tree, so the destination needs only its base contributions —
+// exactly what the streaming tiers provide. It holds when d is insecure
+// and cannot flip under any candidate's projection: then C.4 rule 1
+// (skipInsecureDest) prunes every candidate the zero-utility test
+// doesn't. d flips only if d itself is a candidate, or — under
+// ProjectStubUpgrades — d is an insecure stub customer of an insecure
+// candidate provider (flipSetFor's membership rule, verbatim).
+func (wk *worker) destUntouchable(d int32, rc *roundCtx) bool {
+	if rc.st.secure[d] || rc.candMark[d] {
+		return false
+	}
+	g := wk.ws.Graph()
+	if rc.cfg.ProjectStubUpgrades && g.IsStub(d) {
+		for _, p := range g.Providers(d) {
+			if rc.candMark[p] && !rc.st.secure[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sidecarWanted reports whether (kind, d)'s pristine-contribution
+// sidecar is absent from every tier that could serve it — the signal
+// for the normal path to record one — and false when there is nowhere
+// to store it.
+func (wk *worker) sidecarWanted(kind uint8, d int32) bool {
+	if wk.cache == nil && wk.shared == nil && wk.disk == nil {
+		return false
+	}
+	if wk.cache.SidecarGet(kind, d) != nil || wk.shared.SidecarGet(kind, d) != nil {
+		return false
+	}
+	return !wk.disk.HasSidecar(kind, d)
+}
+
+// replaySidecar (Tier A) serves an insecure destination's base
+// contributions by replaying its recorded sidecar: the nonzero
+// contributions in ascending node order, bit-for-bit the floats the
+// fresh support loop would add (zero additions are bit-safe no-ops —
+// the accumulators never hold -0.0). Valid because an insecure
+// destination's tree is the static winner tree in every deployment
+// state, making the contributions a pure function of (graph, weights,
+// tiebreaker, model, destination) — the disk/cache keying. Returns
+// false (recompute) on miss or any decode failure.
+func (wk *worker) replaySidecar(d int32, rc *roundCtx) bool {
+	kind := uint8(rc.cfg.Model)
+	payload := wk.cache.SidecarGet(kind, d)
+	fromShared := false
+	if payload == nil && wk.shared != nil {
+		payload = wk.shared.SidecarGet(kind, d)
+		fromShared = payload != nil
+	}
+	fromDisk := false
+	if payload == nil {
+		payload = wk.disk.LookupSidecar(kind, d)
+		fromDisk = payload != nil
+	}
+	if payload == nil {
+		return false
+	}
+	n := wk.ws.Graph().N()
+	entries, ok := routing.DecodeSidecar(payload, d, n, kind, wk.scBuf[:0])
+	if !ok {
+		// Corrupt or mismatched record: forget it so the normal path's
+		// recompute re-records a good one, and fall back.
+		switch {
+		case fromDisk:
+			wk.disk.DropSidecar(kind, d)
+		case fromShared:
+			wk.shared.SidecarDrop(kind, d)
+		default:
+			wk.cache.SidecarDrop(kind, d)
+		}
+		return false
+	}
+	wk.scBuf = entries[:0]
+	for _, e := range entries {
+		wk.uBase[e.Node] += math.Float64frombits(e.Bits)
+	}
+	if fromDisk {
+		wk.stats.staticDiskHits++
+		wk.stats.staticDiskBytesRead += int64(len(payload))
+		// Warm the resident tier so later rounds skip the disk read.
+		if wk.shared != nil {
+			wk.shared.SidecarPut(kind, d, payload)
+		} else {
+			wk.cache.SidecarPut(kind, d, payload)
+		}
+	}
+	if wk.pf != nil && wk.pf.discard(d) {
+		wk.stats.prefetchWasted++
+	}
+	wk.stats.pristineReplays++
+	return true
+}
+
+// streamResolve (Tier B) serves destination d's base contributions by
+// one fused pass over a packed blob — no workspace decode, no
+// node-indexed tree, no support-list materialization. The streaming
+// resolver's entry arrays are, by construction, the resolved tree's
+// order/parents/types (see routing/stream.go), so the reverse
+// accumulation below adds the same floats in the same order as
+// accumulate(), and the contribution loops add the same floats as the
+// support loop (differing only in provably-zero additions). When record
+// is set (insecure destination, sidecar absent) the nonzero
+// contributions are recorded as a sidecar on the way through. Returns
+// false (normal path) when no blob is available or the walk fails.
+func (wk *worker) streamResolve(d int32, rc *roundCtx, record bool) bool {
+	cfg := rc.cfg
+	st := rc.st
+	weights := rc.weights
+	blob := wk.cache.GetBlob(d)
+	if blob == nil {
+		blob = wk.shared.GetBlob(d)
+	}
+	fromCache := blob != nil
+	havePre := false
+	fromDisk := false
+	if blob == nil && wk.pf != nil {
+		if p, ok := wk.pf.take(d); ok {
+			if p.blob == nil {
+				// Snapshot-form pipeline result: the streaming walk needs
+				// packed bytes. Park it for fetchStatic and recompute.
+				wk.preStash = p
+				wk.preStashed = true
+				return false
+			}
+			havePre = true
+			blob = p.blob
+			fromDisk = p.fromDisk
+		}
+	}
+	if blob == nil && wk.disk != nil {
+		if b := wk.disk.Lookup(d); b != nil {
+			blob = b
+			fromDisk = true
+		}
+	}
+	if blob == nil {
+		return false
+	}
+	if wk.stream == nil {
+		wk.stream = routing.NewStreamStatic(wk.ws.Graph())
+	}
+	if wk.stream.Resolve(blob, st.secure, st.breaks, cfg.Tiebreaker) != nil {
+		// Cache- and pipeline-built blobs can't be corrupt; disk blobs
+		// can — drop the poisoned record (a later write-through repairs
+		// it) and recompute. A consumed pipeline item is simply lost.
+		if fromDisk {
+			wk.disk.Drop(d)
+		}
+		return false
+	}
+	sr := wk.stream
+	switch {
+	case fromDisk:
+		wk.stats.staticDiskHits++
+		wk.stats.staticDiskBytesRead += int64(len(blob))
+	case havePre:
+		wk.stats.staticMisses++
+	default:
+		wk.stats.staticHits++
+	}
+	if havePre {
+		wk.stats.prefetchHits++
+	}
+	if fromCache {
+		if wk.pf != nil && wk.pf.discard(d) {
+			wk.stats.prefetchWasted++
+		}
+	} else {
+		// Write-through and admission, as the normal path would: persist
+		// fresh pipeline blobs, publish every streamed blob to the
+		// resident tier so later rounds stream it from memory.
+		if wk.disk != nil && !fromDisk && wk.disk.Put(d, blob) {
+			wk.stats.staticDiskWrites++
+		}
+		if wk.shared != nil {
+			wk.shared.AddBlob(d, blob)
+		} else {
+			wk.cache.AddBlob(d, blob)
+		}
+	}
+
+	// Reverse accumulation over the entry arrays — the same float
+	// operations, in the same sequence, as accumulate() over the
+	// resolved tree.
+	order, parents, types := sr.Order(), sr.Parents(), sr.Types()
+	acc, inc := wk.accBase, wk.incBase
+	acc[d] = weights[d]
+	inc[d] = 0
+	for _, i := range order {
+		acc[i] = weights[i]
+		inc[i] = 0
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		p := parents[k]
+		acc[p] += acc[i]
+		if types[k] == routing.ProviderRoute {
+			inc[p] += acc[i]
+		}
+	}
+	kind := uint8(cfg.Model)
+	record = record && (wk.cache != nil || wk.shared != nil || wk.disk != nil)
+	if record {
+		wk.scEntries = wk.scEntries[:0]
+	}
+	if cfg.Model == Outgoing {
+		// Customer-route ISPs in ascending index order — exactly
+		// SupportOutgoing's set and order.
+		for _, i := range wk.isps {
+			if !sr.IsCustomer(i) {
+				continue
+			}
+			v := acc[i] - weights[i]
+			wk.uBase[i] += v
+			if record && v != 0 {
+				wk.scEntries = append(wk.scEntries,
+					routing.SidecarEntry{Node: i, Bits: math.Float64bits(v)})
+			}
+		}
+	} else {
+		// Reachable ISPs vs SupportIncoming's provider-parent ISPs: a
+		// nonzero inc requires a provider-route child, which makes the
+		// node a provider parent — every ISP in one set and not the
+		// other adds a provably bitwise +0.0. Same floats either way.
+		for _, i := range wk.isps {
+			if !sr.Reachable(i) {
+				continue
+			}
+			v := inc[i]
+			wk.uBase[i] += v
+			if record && v != 0 {
+				wk.scEntries = append(wk.scEntries,
+					routing.SidecarEntry{Node: i, Bits: math.Float64bits(v)})
+			}
+		}
+	}
+	if record {
+		wk.storeSidecar(kind, d, wk.ws.Graph().N())
+	}
+	wk.stats.baseResolutions++
+	wk.stats.streamResolves++
+	return true
+}
+
+// storeSidecar encodes wk.scEntries as (kind, d)'s sidecar and stores
+// it in the resident tier and the disk store.
+func (wk *worker) storeSidecar(kind uint8, d int32, n int) {
+	wk.scPayload = routing.AppendSidecar(wk.scPayload[:0], d, n, kind, wk.scEntries)
+	if wk.shared != nil {
+		wk.shared.SidecarPut(kind, d, wk.scPayload)
+	} else {
+		wk.cache.SidecarPut(kind, d, wk.scPayload)
+	}
+	if wk.disk.PutSidecar(kind, d, wk.scPayload) {
+		wk.stats.staticDiskWrites++
+	}
+	wk.stats.pristineRecords++
+}
+
 // advanceRecord brings rec.tree from the previous round's deployment
 // state to the current one by change propagation over the realized flip
 // set — bit-identical to a fresh resolution, by ApplyFlips' contract,
@@ -989,10 +1348,31 @@ func (wk *worker) processDest(d int32, rc *roundCtx) {
 // (any entry at all, Secure flags included) or a witness hit — the
 // destination itself or a witness node flipping — invalidates the
 // memoized deltas.
-func (wk *worker) advanceRecord(rec *destRecord, stc *routing.Static, rc *roundCtx) (parentsChanged, treeChanged, hit bool) {
+func (wk *worker) advanceRecord(rec *destRecord, getStatic func() *routing.Static, rc *roundCtx) (parentsChanged, treeChanged, hit bool) {
 	if len(rc.flipList) == 0 {
 		return false, false, false
 	}
+	if !rc.flipMark[rec.dest] && !rc.st.secure[rec.dest] {
+		// The destination is insecure in both states (it did not flip):
+		// every Secure flag in its tree is false before and after, so the
+		// tree is the static winner tree both ways and propagation would
+		// change nothing — skip it, and the static fetch with it. Only
+		// the witness check remains (flipMark[rec.dest] is false here).
+		if rec.deltasValid {
+			if rec.witnessFull {
+				hit = true
+			} else {
+				for _, w := range rec.witness {
+					if rc.flipMark[w] {
+						hit = true
+						break
+					}
+				}
+			}
+		}
+		return false, false, hit
+	}
+	stc := getStatic()
 	wk.ws.PrepareDelta(stc)
 	parentsChanged, _ = wk.ws.ApplyFlips(&rec.tree, stc,
 		rc.prevSecure, rc.prevBreaks, rc.flipMark, rc.flipBreaks, rc.flipList, rc.cfg.Tiebreaker)

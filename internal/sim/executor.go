@@ -66,6 +66,9 @@ type ShardStats struct {
 	StaticDiskHits      int64
 	StaticDiskBytesRead int64
 	StaticDiskWrites    int64
+	PristineReplays     int64
+	PristineRecords     int64
+	StreamResolves      int64
 }
 
 // add accumulates o into s. WallNS is summed too; callers wanting
@@ -98,6 +101,9 @@ func (s *ShardStats) add(o *ShardStats) {
 	s.StaticDiskHits += o.StaticDiskHits
 	s.StaticDiskBytesRead += o.StaticDiskBytesRead
 	s.StaticDiskWrites += o.StaticDiskWrites
+	s.PristineReplays += o.PristineReplays
+	s.PristineRecords += o.PristineRecords
+	s.StreamResolves += o.StreamResolves
 }
 
 // ExecInfo reports executor-level events of one round that are not

@@ -57,6 +57,12 @@ import (
 //     skips projections whose delta is exactly zero (see
 //     TestQuickFlipPrediction), so disabling it recomputes the same
 //     bits the long way (see TestNoProjectionBatchResultInvariant).
+//   - NoStreamResolve: a performance knob. The streaming resolver
+//     replays decideNode's decisions over the same packed bytes, and a
+//     pristine-contribution sidecar replays the recorded float64 bit
+//     patterns the fresh support loop would add in the same order (see
+//     TestStreamingResolveResultInvariant), so either setting produces
+//     the same bits.
 func (c Config) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString("sim-v1|")

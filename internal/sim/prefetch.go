@@ -141,9 +141,16 @@ func (pf *prefetcher) stop() {
 // accepts blobs. A full packed cache admits nothing more, so its
 // requests go back to snapshot form — the consumer resolves those
 // directly instead of paying an encode the admission would discard.
-func (pf *prefetcher) topUp(wk *worker, n, stride int) {
+// Destinations the round will serve by a pristine-sidecar replay (an
+// insecure, record-less, untouchable destination whose sidecar is
+// resident or on disk — the Tier A conditions) are skipped outright:
+// their static would never be consumed. A sidecar that later fails to
+// decode just recomputes inline — time, never bits.
+func (pf *prefetcher) topUp(wk *worker, rc *roundCtx, n, stride int) {
 	packed := (wk.cache.Repacked() && !wk.cache.Full()) ||
 		(wk.shared.Repacked() && !wk.shared.Full())
+	streaming := !rc.cfg.NoStreamResolve
+	kind := uint8(rc.cfg.Model)
 	for pf.inflight < pf.depth && int(pf.next) < n {
 		d := pf.next
 		pf.next += int32(stride)
@@ -151,6 +158,13 @@ func (pf *prefetcher) topUp(wk *worker, n, stride int) {
 			continue
 		}
 		if wk.cache.Has(d) || wk.shared.Has(d) {
+			continue
+		}
+		if streaming && !rc.st.secure[d] && wk.dyn.get(d) == nil &&
+			(len(rc.candList) == 0 || wk.destUntouchable(d, rc)) &&
+			(wk.cache.SidecarGet(kind, d) != nil ||
+				wk.shared.SidecarGet(kind, d) != nil ||
+				wk.disk.HasSidecar(kind, d)) {
 			continue
 		}
 		pf.req <- prefReq{d: d, packed: packed}

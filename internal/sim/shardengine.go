@@ -33,6 +33,8 @@ type ShardEngine struct {
 	wall     []time.Duration
 	allIdx   []int          // cached [0..len(pool)) index list
 	partials []ShardPartial // reused output buffer
+	candMark []bool         // roundCtx.candMark backing store
+	candPrev []int32        // marks set last round, for O(|cand|) clearing
 
 	// disk is the persistent L2 static tier (Config.StaticStoreDir),
 	// shared by all shards — the store is concurrency-safe and keyed by
@@ -291,6 +293,63 @@ func (e *ShardEngine) ImportStatics(blobs [][]byte) {
 	}
 }
 
+// ExportSidecars collects the pristine-contribution sidecars cached by
+// retired shard workers (the warm-handoff companion to ExportStatics):
+// parallel kind/dest/payload slices, payloads aliasing the caches'
+// arenas (read-only, short-lived). With Config.NoStreamResolve set the
+// result is always empty — the target could not replay them anyway.
+func (e *ShardEngine) ExportSidecars(ids []int) (kinds []uint8, dests []int32, payloads [][]byte) {
+	if e.cfg.NoStreamResolve {
+		return nil, nil, nil
+	}
+	for _, s := range ids {
+		if wk := e.retired[s]; wk != nil {
+			k, d, p := wk.cache.ExportSidecars()
+			kinds = append(kinds, k...)
+			dests = append(dests, d...)
+			payloads = append(payloads, p...)
+		}
+	}
+	return kinds, dests, payloads
+}
+
+// ImportSidecars warms the engine with sidecars exported by another
+// engine. Each payload is routed to the owner of its destination's
+// shard and validated by a full decode before admission — wire bytes
+// are never trusted. Unowned shards, duplicates, over-budget payloads
+// and any decode failure drop the sidecar silently: recomputing one is
+// always bit-identical (the contributions are pristine by definition).
+func (e *ShardEngine) ImportSidecars(kinds []uint8, dests []int32, payloads [][]byte) {
+	if e.cfg.NoStreamResolve {
+		return
+	}
+	n := e.g.N()
+	for j, payload := range payloads {
+		if j >= len(kinds) || j >= len(dests) {
+			break
+		}
+		kind, d := kinds[j], dests[j]
+		if int(d) >= n {
+			continue
+		}
+		shard := int(d) % e.total
+		for i, s := range e.shards {
+			if s != shard {
+				continue
+			}
+			wk := e.pool[i]
+			if wk.cache == nil {
+				break
+			}
+			if _, ok := routing.DecodeSidecar(payload, d, n, kind, nil); !ok {
+				break
+			}
+			wk.cache.SidecarPut(kind, d, payload)
+			break
+		}
+	}
+}
+
 // shardOrder sorts an engine's shard list and pool in lockstep.
 type shardOrder struct{ e *ShardEngine }
 
@@ -352,6 +411,19 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 	}
 
 	rc := &roundCtx{st: st, candList: candList, cfg: &e.cfg, weights: e.weights}
+	if len(candList) > 0 {
+		if e.candMark == nil {
+			e.candMark = make([]bool, n)
+		}
+		for _, c := range e.candPrev {
+			e.candMark[c] = false
+		}
+		e.candPrev = append(e.candPrev[:0], candList...)
+		for _, c := range candList {
+			e.candMark[c] = true
+		}
+		rc.candMark = e.candMark
+	}
 	rc.noSecure = true
 	for _, sec := range st.secure {
 		if sec {
@@ -385,7 +457,7 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 			}
 			for d := int32(e.shards[i]); int(d) < n; d += int32(total) {
 				if wk.pf != nil {
-					wk.pf.topUp(wk, n, total)
+					wk.pf.topUp(wk, rc, n, total)
 				}
 				wk.processDest(d, rc)
 			}
@@ -432,6 +504,9 @@ func (e *ShardEngine) compute(rs RoundState, candList []int32, idx []int) []Shar
 				StaticDiskHits:      wk.stats.staticDiskHits,
 				StaticDiskBytesRead: wk.stats.staticDiskBytesRead,
 				StaticDiskWrites:    wk.stats.staticDiskWrites,
+				PristineReplays:     wk.stats.pristineReplays,
+				PristineRecords:     wk.stats.pristineRecords,
+				StreamResolves:      wk.stats.streamResolves,
 			},
 		}
 		out = append(out, p)

@@ -137,9 +137,17 @@ func TestStaticCacheSharedAcrossRuns(t *testing.T) {
 	second := s.Run()
 	requireBitIdentical(t, "second run", first, second)
 	for r, rd := range second.Rounds {
-		if rd.Stats.StaticMisses != 0 || rd.Stats.StaticHits != int64(g.N()) {
-			t.Fatalf("second run round %d: %d/%d static hits, want all %d from the first run's cache",
-				r, rd.Stats.StaticHits, rd.Stats.StaticHits+rd.Stats.StaticMisses, g.N())
+		if rd.Stats.StaticMisses != 0 {
+			t.Fatalf("second run round %d: %d static misses, want everything served from the first run's cache",
+				r, rd.Stats.StaticMisses)
+		}
+		// Every destination is served warm: a cached static snapshot, a
+		// clean dynamic-cache replay (which needs no static at all), or a
+		// pristine-contribution sidecar replay recorded by the first run.
+		served := rd.Stats.StaticHits + int64(rd.Stats.CleanDests) + rd.Stats.PristineReplays
+		if served != int64(g.N()) {
+			t.Fatalf("second run round %d: %d static hits + %d clean + %d replayed = %d served, want %d",
+				r, rd.Stats.StaticHits, rd.Stats.CleanDests, rd.Stats.PristineReplays, served, g.N())
 		}
 	}
 }

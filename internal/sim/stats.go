@@ -106,6 +106,16 @@ type RoundStats struct {
 	StaticDiskHits      int64
 	StaticDiskBytesRead int64
 	StaticDiskWrites    int64
+	// PristineReplays counts destinations served by replaying a recorded
+	// pristine-contribution sidecar (Tier A: no resolution, no tree),
+	// StreamResolves those served by the fused streaming resolver over a
+	// packed blob (Tier B; counted on top of BaseResolutions), and
+	// PristineRecords the sidecars recorded this round. All three stay
+	// zero under Config.NoStreamResolve. Sidecar disk reads and writes
+	// are included in the StaticDisk* counters above.
+	PristineReplays int64
+	PristineRecords int64
+	StreamResolves  int64
 	// StaticPackedEntries/StaticPackedBytes count the cache entries held
 	// in packed form and the blob bytes they occupy (a subset of
 	// StaticCacheEntries/StaticCacheBytes; see routing/packed.go). Both
@@ -175,6 +185,10 @@ func (st *RoundStats) String() string {
 	if st.StaticDiskHits > 0 || st.StaticDiskWrites > 0 {
 		out += fmt.Sprintf(", disk %d hit %dB read, %d writes",
 			st.StaticDiskHits, st.StaticDiskBytesRead, st.StaticDiskWrites)
+	}
+	if st.PristineReplays > 0 || st.StreamResolves > 0 || st.PristineRecords > 0 {
+		out += fmt.Sprintf(", stream %d resolved, %d replayed (%d recorded)",
+			st.StreamResolves, st.PristineReplays, st.PristineRecords)
 	}
 	if st.WorkersLost > 0 || st.ShardsReassigned > 0 {
 		out += fmt.Sprintf(", lost %d workers (%d shards reassigned)", st.WorkersLost, st.ShardsReassigned)

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/routing"
+	"sbgp/internal/topogen"
+)
+
+// TestStreamingResolveResultInvariant: the fused streaming resolver and
+// the pristine-contribution replay tier are pure performance layers — a
+// streamed resolution replays decideNode's decisions over the same
+// packed bytes, and a sidecar replay re-adds the recorded float64 bit
+// patterns the fresh support loop would produce in the same order — so
+// Results are bit-identical with streaming on or off, at any worker
+// count, cache budget, prefetch depth, packed setting, and disk-tier
+// state, under both utility models and both tie-break policies. This is
+// the invariant that lets Config.Fingerprint exclude NoStreamResolve.
+func TestStreamingResolveResultInvariant(t *testing.T) {
+	g := topogen.MustGenerate(topogen.Default(300, 13))
+	g.SetCPTrafficFraction(0.10)
+	adopters := append(g.Nodes(asgraph.ContentProvider),
+		asgraph.TopByDegree(g, 3, asgraph.ISP)...)
+
+	// ~10 KB per unpacked snapshot at N=300: the tiny budget forces
+	// eviction and recomputation under the streaming dispatch too.
+	const tinyBudget = 40_000
+
+	root := t.TempDir()
+	defer routing.CloseSharedDiskStores()
+
+	type variant struct {
+		budget   int64
+		depth    int
+		noPacked bool
+		disk     bool
+	}
+	cases := []struct {
+		model    UtilityModel
+		sbt      bool
+		workers  []int
+		variants []variant
+	}{
+		// The full worker × cache axis under the default model/policy…
+		{Outgoing, true, []int{1, 3, 5}, []variant{
+			{0, 0, false, false},
+			{tinyBudget, 4, false, true},
+			{-1, 0, true, false},
+		}},
+		// …and every other (model, policy) corner against the tiers the
+		// streaming dispatch actually branches on: packed + disk (Tier A
+		// replay and Tier B streaming) and packed-off (full fallback).
+		{Outgoing, false, []int{3}, []variant{{0, 4, false, true}, {0, 0, true, false}}},
+		{Incoming, true, []int{3}, []variant{{0, 4, false, true}, {-1, 0, true, false}}},
+		{Incoming, false, []int{5}, []variant{{tinyBudget, 0, false, true}, {0, 4, false, false}}},
+	}
+
+	var warmRef *Result // (Outgoing, sbt, workers=3) ref for the warm phase below
+	for _, c := range cases {
+		for _, workers := range c.workers {
+			base := Config{
+				Model:           c.model,
+				Theta:           0.05,
+				EarlyAdopters:   adopters,
+				StubsBreakTies:  c.sbt,
+				Workers:         workers,
+				RecordUtilities: true,
+				RecordStats:     true,
+				NoStreamResolve: true,
+			}
+			ref := MustNew(g, base).Run()
+			if c.model == Outgoing && c.sbt && workers == 3 {
+				warmRef = ref
+			}
+			for _, v := range c.variants {
+				cfg := base
+				cfg.NoStreamResolve = false
+				cfg.StaticCacheBytes = v.budget
+				cfg.StaticPrefetch = v.depth
+				cfg.NoPackedStatics = v.noPacked
+				if v.disk {
+					cfg.StaticStoreDir = root
+				}
+				label := "model=" + c.model.String() + "/sbt=" + boolStr(c.sbt) +
+					"/workers=" + itoa(workers) + "/budget=" + itoa(int(v.budget)) +
+					"/depth=" + itoa(v.depth) + "/packed=" + boolStr(!v.noPacked) +
+					"/disk=" + boolStr(v.disk)
+				got := MustNew(g, cfg).Run()
+				requireBitIdentical(t, label, ref, got)
+				if base.Fingerprint() != cfg.Fingerprint() {
+					t.Errorf("%s: NoStreamResolve changed the fingerprint", label)
+				}
+			}
+		}
+	}
+
+	// Warm sweep accounting: after the matrix populated the disk tier
+	// with sidecars for every destination, a restarted pristine pass is
+	// pure Tier A — every destination replays recorded bits, nothing
+	// resolves, nothing misses, and the sidecar reads surface in the
+	// disk-tier counters.
+	routing.CloseSharedDiskStores()
+	warm := Config{
+		Model:           Outgoing,
+		Theta:           0.05,
+		EarlyAdopters:   adopters,
+		StubsBreakTies:  true,
+		Workers:         3,
+		RecordUtilities: true,
+		RecordStats:     true,
+		StaticStoreDir:  root,
+	}
+	got := MustNew(g, warm).Run()
+	requireBitIdentical(t, "restart-warm", warmRef, got)
+	ps := got.PristineStats
+	if ps == nil {
+		t.Fatal("restart-warm: no pristine stats recorded")
+	}
+	n := int64(g.N())
+	if ps.PristineReplays != n {
+		t.Errorf("restart-warm: %d pristine replays, want %d", ps.PristineReplays, n)
+	}
+	if ps.BaseResolutions != 0 || ps.StreamResolves != 0 {
+		t.Errorf("restart-warm: %d resolutions (%d streamed) in a fully replayed pass",
+			ps.BaseResolutions, ps.StreamResolves)
+	}
+	if ps.StaticMisses != 0 {
+		t.Errorf("restart-warm: %d static misses", ps.StaticMisses)
+	}
+	if ps.StaticDiskHits != n {
+		t.Errorf("restart-warm: %d disk hits, want %d", ps.StaticDiskHits, n)
+	}
+	if ps.StaticDiskWrites != 0 {
+		t.Errorf("restart-warm: %d disk writes on a warm store", ps.StaticDiskWrites)
+	}
+	// Every later round balances the same way: each destination is
+	// served by a cache or disk hit, a clean replay, or a pristine
+	// replay — never recomputed from scratch. (A Tier A replay served
+	// from disk ticks both PristineReplays and StaticDiskHits, so the
+	// sum can exceed n; a cold recompute would show up as a miss.)
+	for r, rd := range got.Rounds {
+		st := rd.Stats
+		if st == nil {
+			t.Fatalf("round %d: no stats", r)
+		}
+		if st.StaticMisses != 0 {
+			t.Errorf("round %d: %d static misses on a warm store", r, st.StaticMisses)
+		}
+		served := st.StaticHits + st.StaticDiskHits + int64(st.CleanDests) + st.PristineReplays
+		if served < n {
+			t.Errorf("round %d: %d destinations served, want >= %d", r, served, n)
+		}
+	}
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
